@@ -1,0 +1,245 @@
+// Command p4wn is the CLI front end: list the program zoo, profile a
+// system, generate adversarial traces, and backtest traces against the
+// software switch.
+//
+//	p4wn list
+//	p4wn profile -prog "Blink (S5)" [-uniform] [-seed 1]
+//	p4wn profile -file my_program.p4w
+//	p4wn adversarial -prog "Blink (S5)" -target reroute [-out adv.pcap]
+//	p4wn backtest -prog "Blink (S5)" -trace adv.pcap
+//	p4wn monitor -prog "Blink (S5)" -trace adv.pcap
+//
+// Trace files ending in .pcap are written/read as libpcap captures
+// (replayable with standard tooling); any other extension uses the
+// repository's binary trace format.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	p4wn "repro"
+	"repro/internal/dut"
+	"repro/internal/mitigate"
+	"repro/internal/p4c"
+	"repro/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	progName := fs.String("prog", "", "program name from `p4wn list`")
+	progFile := fs.String("file", "", "mini-language source file (alternative to -prog)")
+	target := fs.String("target", "", "target code-block label (adversarial)")
+	traceFile := fs.String("trace", "", "trace file to replay (backtest)")
+	out := fs.String("out", "", "output trace file (adversarial)")
+	seed := fs.Int64("seed", 1, "random seed")
+	uniform := fs.Bool("uniform", false, "profile against the uniform header space instead of a synthetic trace")
+	seconds := fs.Int("seconds", 10, "amplified workload duration (adversarial)")
+	pps := fs.Int("pps", 1000, "amplified workload rate (adversarial)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	switch cmd {
+	case "list":
+		cmdList()
+	case "profile":
+		cmdProfile(*progName, *progFile, *seed, *uniform)
+	case "adversarial":
+		cmdAdversarial(*progName, *progFile, *target, *out, *seed, *seconds, *pps)
+	case "backtest":
+		cmdBacktest(*progName, *progFile, *traceFile)
+	case "monitor":
+		cmdMonitor(*progName, *traceFile, *seed)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: p4wn <list|profile|adversarial|backtest|monitor> [flags]")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "p4wn:", err)
+	os.Exit(1)
+}
+
+func mustProgram(name string) p4wn.SystemMeta {
+	if name == "" {
+		fatal(fmt.Errorf("-prog required (see `p4wn list`)"))
+	}
+	m, ok := p4wn.LookupSystem(name)
+	if !ok {
+		fatal(fmt.Errorf("unknown program %q", name))
+	}
+	return m
+}
+
+// loadProgram resolves -prog / -file into a built program plus a workload
+// generator for its oracle.
+func loadProgram(name, file string, seed int64) (*p4wn.Program, p4wn.Oracle) {
+	if file != "" {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err := p4c.Parse(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		return prog, p4wn.TraceOracle(p4wn.GenerateTraffic(p4wn.TrafficOptions{Seed: seed}))
+	}
+	m := mustProgram(name)
+	return m.Build(), p4wn.TraceOracle(p4wn.GenerateTraffic(m.Workload(seed)))
+}
+
+func cmdList() {
+	fmt.Printf("%-20s %6s %9s %s\n", "name", "LoC", "stateful", "structures")
+	for _, m := range p4wn.Systems() {
+		structs := ""
+		if m.UsesHash {
+			structs += "hash "
+		}
+		if m.UsesBloom {
+			structs += "bloom "
+		}
+		if m.UsesSketch {
+			structs += "sketch "
+		}
+		if m.DeepState {
+			structs += "deep"
+		}
+		st := "-"
+		if m.Stateful {
+			st = "yes"
+		}
+		fmt.Printf("%-20s %6d %9s %s\n", m.Name, m.PaperLoC, st, structs)
+	}
+}
+
+func cmdProfile(name, file string, seed int64, uniform bool) {
+	prog, oracle := loadProgram(name, file, seed)
+	if uniform {
+		oracle = nil
+	}
+	prof, err := p4wn.Profile(prog, oracle, p4wn.ProfileOptions{Seed: seed})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(prof)
+	fmt.Printf("(%.2fs)\n", prof.Stats.Duration.Seconds())
+}
+
+func cmdAdversarial(name, file, target, out string, seed int64, seconds, pps int) {
+	prog, _ := loadProgram(name, file, seed)
+	if target == "" {
+		fatal(fmt.Errorf("-target required (a block label from `p4wn profile`)"))
+	}
+	adv, err := p4wn.Adversarial(prog, target, p4wn.AdversarialOptions{Seed: seed})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("generated %d seed packets for %s/%s (validated=%v)\n",
+		len(adv.Packets), prog.Name, target, adv.Validated)
+	fmt.Printf("  symbex %.3fs, solver %.3fs, havocing %.3fs\n",
+		adv.Decomp.Symbex.Seconds(), adv.Decomp.Solver.Seconds(), adv.Decomp.Havoc.Seconds())
+	if out != "" {
+		w := p4wn.Amplify(adv, seconds, pps)
+		var werr error
+		if strings.HasSuffix(out, ".pcap") {
+			werr = w.WritePcapFile(out)
+		} else {
+			werr = w.WriteFile(out)
+		}
+		if werr != nil {
+			fatal(werr)
+		}
+		fmt.Printf("wrote %d-packet amplified workload to %s\n", w.Len(), out)
+	}
+}
+
+func cmdBacktest(name, file, traceFile string) {
+	prog, _ := loadProgram(name, file, 1)
+	if traceFile == "" {
+		fatal(fmt.Errorf("-trace required"))
+	}
+	var tr *trace.Trace
+	var err error
+	if strings.HasSuffix(traceFile, ".pcap") {
+		tr, err = trace.ReadPcapFile(traceFile)
+	} else {
+		tr, err = trace.ReadFile(traceFile)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	metrics := p4wn.Backtest(prog, tr)
+	tot := metrics.Totals()
+	fmt.Printf("replayed %d packets over %d virtual seconds on %s\n", tr.Len(), metrics.Seconds, prog.Name)
+	fmt.Printf("  cpu punts: %d, digests: %d, recircs: %d, mirrors: %d, backend: %d, drops: %d\n",
+		tot.CPUPkts, tot.Digests, tot.Recircs, tot.Mirrors, tot.BackendPkts, tot.Dropped)
+	for port, kb := range tot.PortKB {
+		if kb > 0 {
+			fmt.Printf("  port %d: %.1f KB\n", port, kb)
+		}
+	}
+	fmt.Println()
+	fmt.Println(metrics.Render(map[string][]float64{
+		"cpu/s":     dut.IntSeries(metrics.CPUPkts),
+		"backend/s": dut.IntSeries(metrics.BackendPkts),
+		"recirc/s":  dut.IntSeries(metrics.Recircs),
+	}))
+}
+
+// cmdMonitor implements the §6 mitigation flow: build the expected profile,
+// replay a trace with block counters attached, and report anomaly alarms.
+func cmdMonitor(name, traceFile string, seed int64) {
+	m := mustProgram(name)
+	prog := m.Build()
+	if traceFile == "" {
+		fatal(fmt.Errorf("-trace required"))
+	}
+	var tr *trace.Trace
+	var err error
+	if strings.HasSuffix(traceFile, ".pcap") {
+		tr, err = trace.ReadPcapFile(traceFile)
+	} else {
+		tr, err = trace.ReadFile(traceFile)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	oracle := p4wn.TraceOracle(p4wn.GenerateTraffic(m.Workload(seed)))
+	prof, err := p4wn.Profile(prog, oracle, p4wn.ProfileOptions{Seed: seed})
+	if err != nil {
+		fatal(err)
+	}
+
+	sw := p4wn.NewSwitch(prog)
+	mon := mitigate.New(prof, mitigate.Options{})
+	mon.Attach(sw)
+	for i := range tr.Packets {
+		sw.Process(&tr.Packets[i])
+	}
+	mon.Flush()
+
+	alarms := mon.Alarms()
+	fmt.Printf("monitored %d packets over %d windows: %d alarms\n",
+		tr.Len(), mon.Windows(), len(alarms))
+	for _, a := range alarms {
+		fmt.Println(" ", a)
+	}
+	if len(alarms) > 0 {
+		os.Exit(3) // distinct exit code for detected anomalies
+	}
+}

@@ -1,0 +1,105 @@
+// Command p4wnbench regenerates the paper's tables and figures and prints
+// them as text, optionally writing each to a file.
+//
+//	p4wnbench -exp all -scale quick
+//	p4wnbench -exp fig6a,fig10 -scale default -outdir results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/eval"
+)
+
+type experiment struct {
+	name string
+	run  func(eval.Config) (fmt.Stringer, error)
+}
+
+func wrap[T fmt.Stringer](f func(eval.Config) (T, error)) func(eval.Config) (fmt.Stringer, error) {
+	return func(c eval.Config) (fmt.Stringer, error) { return f(c) }
+}
+
+var experiments = []experiment{
+	{"table1", wrap(eval.Table1)},
+	{"fig6a", wrap(eval.Figure6a)},
+	{"fig6b", wrap(eval.Figure6b)},
+	{"fig6c", wrap(eval.Figure6c)},
+	{"fig6d", wrap(eval.Figure6d)},
+	{"fig6e", wrap(eval.Figure6e)},
+	{"fig6f", wrap(eval.Figure6f)},
+	{"fig7", wrap(eval.Figure7)},
+	{"fig8", wrap(eval.Figure8)},
+	{"fig9", wrap(eval.Figure9)},
+	{"fig10", wrap(eval.Figure10)},
+	{"fig11", wrap(eval.Figure11)},
+	{"fig12", wrap(eval.Figure12)},
+	{"fig13", wrap(eval.Figure13)},
+	{"accuracy", wrap(eval.AccuracyVsExhaustive)},
+	{"offload", wrap(eval.OffloadCaseStudy)},
+	{"ablations", wrap(eval.Ablations)},
+}
+
+func main() {
+	expFlag := flag.String("exp", "all", "comma-separated experiments, or 'all'")
+	scale := flag.String("scale", "quick", "quick | default | full")
+	outdir := flag.String("outdir", "", "write each experiment's output to <outdir>/<name>.txt")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var cfg eval.Config
+	switch *scale {
+	case "quick":
+		cfg = eval.Quick()
+	case "default":
+		cfg = eval.DefaultConfig()
+	case "full":
+		cfg = eval.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "p4wnbench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	cfg.Seed = *seed
+
+	want := map[string]bool{}
+	if *expFlag != "all" {
+		for _, n := range strings.Split(*expFlag, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+	}
+
+	failed := 0
+	for _, e := range experiments {
+		if len(want) > 0 && !want[e.name] {
+			continue
+		}
+		start := time.Now()
+		res, err := e.run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p4wnbench: %s failed: %v\n", e.name, err)
+			failed++
+			continue
+		}
+		text := res.String()
+		fmt.Printf("==== %s (%.1fs) ====\n%s\n", e.name, time.Since(start).Seconds(), text)
+		if *outdir != "" {
+			if err := os.MkdirAll(*outdir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "p4wnbench:", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*outdir, e.name+".txt")
+			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "p4wnbench:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,26 @@
+// Offload hints (§6 case study): profile the eBPF port-knocking NF and use
+// the probabilistic profile to decide which components to offload to a
+// programmable switch. Hot components (the non-SSH fast path) move to the
+// switch; the stateful knock machinery stays on the server.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/eval"
+)
+
+func main() {
+	res, err := eval.OffloadCaseStudy(eval.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res)
+	fmt.Println(`
+Reading the result: guided offloading captures nearly all of the latency
+win because the profile shows almost all packets take the stateless
+fast path; rewriting the whole NF onto the switch buys almost nothing
+more while consuming far more SRAM/VLIW/stages — the paper's
+performance/resource trade-off.`)
+}

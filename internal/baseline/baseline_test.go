@@ -1,0 +1,118 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/programs"
+)
+
+func TestExhaustiveStatelessCompletes(t *testing.T) {
+	prog := programs.CopyToCPU()
+	res := Exhaustive(prog, 3, 5*time.Second, 1<<16)
+	if res.TimedOut {
+		t.Fatal("stateless program should not time out")
+	}
+	if res.Paths != 8 { // 2 branches per packet, 3 packets
+		t.Fatalf("paths = %d, want 8", res.Paths)
+	}
+	if res.Coverage != 1 {
+		t.Fatalf("coverage = %v", res.Coverage)
+	}
+}
+
+func TestExhaustiveDeepStateTimesOut(t *testing.T) {
+	prog := programs.Counter(64)
+	res := Exhaustive(prog, 64, 300*time.Millisecond, 1<<12)
+	if !res.TimedOut {
+		t.Fatal("64-deep counter should exceed the quick budget")
+	}
+}
+
+func TestExhaustiveLargeHashTableTimesOut(t *testing.T) {
+	small := Exhaustive(programs.HTable(64, 8), 5, 2*time.Second, 1<<14)
+	large := Exhaustive(programs.HTable(1<<14, 8), 5, 300*time.Millisecond, 1<<14)
+	if small.TimedOut && !large.TimedOut {
+		t.Fatal("cost should grow with table size")
+	}
+	if !large.TimedOut && large.Duration < small.Duration {
+		t.Fatalf("large table (%v) finished faster than small (%v)", large.Duration, small.Duration)
+	}
+}
+
+func TestExProfileMatchesClosedForm(t *testing.T) {
+	prog := programs.Counter(2)
+	truth, ok := ExProfile(prog, nil, 3, 10*time.Second)
+	if !ok {
+		t.Fatal("ex baseline timed out on a tiny program")
+	}
+	// tcp_sample at packet 3 requires >=2 TCP among... counter resets; per
+	// packet-3 probability: P(cnt reaches 2 at pkt3). Just sanity-check
+	// the entry node has probability 1 and tcp node 1/256.
+	entry := prog.NodeByLabel("entry")
+	if math.Abs(truth[entry.ID].Float()-1) > 1e-9 {
+		t.Fatalf("entry prob = %v", truth[entry.ID].Float())
+	}
+	tcp := prog.NodeByLabel("tcp")
+	if math.Abs(truth[tcp.ID].Float()-1.0/256) > 1e-9 {
+		t.Fatalf("tcp prob = %v", truth[tcp.ID].Float())
+	}
+}
+
+func TestExProfileTimesOutGracefully(t *testing.T) {
+	prog := programs.Blink()
+	if _, ok := ExProfile(prog, nil, 40, 200*time.Millisecond); ok {
+		t.Fatal("full Blink should exceed a 200ms exhaustive budget")
+	}
+}
+
+func TestPathSampleGranularity(t *testing.T) {
+	prog := programs.Counter(4)
+	points := PathSample(prog, &dist.UniformOracle{}, 1, 8000, 5*time.Second)
+	if len(points) < 2 {
+		t.Fatalf("want multiple measurement points, got %d", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Samples <= points[i-1].Samples {
+			t.Fatal("sample counts should grow")
+		}
+		if points[i].Granularity >= points[i-1].Granularity {
+			t.Fatal("granularity should get finer")
+		}
+	}
+	last := points[len(points)-1]
+	if last.Granularity != 1/float64(last.Samples) {
+		t.Fatal("granularity must be 1/samples")
+	}
+	// The TCP branch (P = 1/256 uniform) should be estimated roughly.
+	tcp := prog.NodeByLabel("tcp")
+	est := last.Estimates[tcp.ID]
+	if est <= 0 || est > 0.05 {
+		t.Fatalf("P(tcp) sampled as %v", est)
+	}
+}
+
+func TestPathSampleRespectsBudget(t *testing.T) {
+	prog := programs.Counter(4)
+	points := PathSample(prog, nil, 1, 1<<30, 100*time.Millisecond)
+	if len(points) == 0 {
+		t.Fatal("no points under time budget")
+	}
+}
+
+func TestPathSampleDeterministic(t *testing.T) {
+	prog := programs.BFilter(1024, 4)
+	a := PathSample(prog, &dist.UniformOracle{}, 9, 2000, 5*time.Second)
+	b := PathSample(prog, &dist.UniformOracle{}, 9, 2000, 5*time.Second)
+	la, lb := a[len(a)-1], b[len(b)-1]
+	if la.Samples != lb.Samples {
+		t.Fatal("sample counts differ")
+	}
+	for id, v := range la.Estimates {
+		if lb.Estimates[id] != v {
+			t.Fatal("estimates differ across identical seeded runs")
+		}
+	}
+}

@@ -1,0 +1,374 @@
+// Package core implements P4wn's probabilistic profiler — the ProbProf
+// algorithm of paper Figure 3. It drives the symbolic engine over a growing
+// sequence of symbolic packets, computes per-code-block probabilities via
+// model counting (optionally weighted by a traffic oracle), telescopes
+// counter-guarded "deep" code blocks, and falls back to informed concrete
+// sampling for whatever has not converged when the symbolic budget runs out.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/ir"
+	"repro/internal/mc"
+	"repro/internal/prob"
+	"repro/internal/sym"
+)
+
+// Options tunes ProbProf. Zero values select the documented defaults.
+type Options struct {
+	// Alpha is the confidence level for convergence (default 0.99): it
+	// maps to the number of consecutive stable rounds required.
+	Alpha float64
+	// Epsilon is the convergence error bound on per-block probabilities
+	// (default 1e-4).
+	Epsilon float64
+	// Gamma is the telescoping probe length in packets (default 4).
+	Gamma int
+	// Delta is the sampling-phase growth factor (default 4; reserved).
+	Delta int
+	// MaxIters bounds the main loop's symbolic sequence length (default 12).
+	MaxIters int
+	// Timeout bounds the main symbolic loop before the sampling phase
+	// takes over (default 10s).
+	Timeout time.Duration
+	// SampleBudget is the number of concrete packets drawn in the
+	// sampling phase (default 50000).
+	SampleBudget int
+	// MaxPaths bounds live symbolic paths (default 200000).
+	MaxPaths int
+
+	// Telescope enables deep-block telescoping (default on; DisableTelescope
+	// flips it for the ablation).
+	DisableTelescope bool
+	// DisableMerge turns off state merging (ablation).
+	DisableMerge bool
+	// DisableSampling turns off the concrete sampling fallback.
+	DisableSampling bool
+
+	// Locality overrides greybox key locality.
+	Locality float64
+	// Seed drives sampling and Monte-Carlo determinism.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Alpha == 0 {
+		o.Alpha = 0.99
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 1e-4
+	}
+	if o.Gamma == 0 {
+		o.Gamma = 4
+	}
+	if o.Delta == 0 {
+		o.Delta = 4
+	}
+	if o.MaxIters == 0 {
+		o.MaxIters = 12
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 10 * time.Second
+	}
+	if o.SampleBudget == 0 {
+		o.SampleBudget = 50000
+	}
+	if o.MaxPaths == 0 {
+		o.MaxPaths = 200000
+	}
+	return o
+}
+
+// stableRounds maps the confidence level to the number of consecutive
+// ε-stable rounds required before the profile is declared converged.
+func (o Options) stableRounds() int {
+	switch {
+	case o.Alpha >= 0.999:
+		return 4
+	case o.Alpha >= 0.99:
+		return 3
+	default:
+		return 2
+	}
+}
+
+// Source tags how a node's probability estimate was obtained.
+type Source int
+
+const (
+	// SrcSymbex: converged symbolic estimate (model counted).
+	SrcSymbex Source = iota
+	// SrcTelescope: telescoped deep-block estimate.
+	SrcTelescope
+	// SrcSampled: concrete-sampling estimate.
+	SrcSampled
+	// SrcUnreached: never observed; probability is zero.
+	SrcUnreached
+)
+
+func (s Source) String() string {
+	switch s {
+	case SrcSymbex:
+		return "symbex"
+	case SrcTelescope:
+		return "telescope"
+	case SrcSampled:
+		return "sampled"
+	}
+	return "unreached"
+}
+
+// NodeProb is one profiled code block.
+type NodeProb struct {
+	ID     int
+	Label  string
+	P      prob.P
+	Source Source
+}
+
+// Stats instruments a profiling run.
+type Stats struct {
+	Duration       time.Duration
+	UpdateProbTime time.Duration
+	SymTime        time.Duration
+	SampleTime     time.Duration
+	Iterations     int
+	Paths          int
+	TelescopedNode int
+	SampledNodes   int
+	Counter        mc.Stats
+	Engine         sym.Stats
+	OracleQueries  int
+}
+
+// Profile is the probabilistic profile (N, µ̂) of a program: the per-packet
+// steady-state probability that each CFG code block is exercised.
+type Profile struct {
+	Program   string
+	Nodes     []NodeProb // ascending by probability (edge cases first)
+	Converged bool
+	Coverage  float64
+	Stats     Stats
+}
+
+// ByID returns the node entry for a CFG node ID.
+func (pf *Profile) ByID(id int) (NodeProb, bool) {
+	for _, n := range pf.Nodes {
+		if n.ID == id {
+			return n, true
+		}
+	}
+	return NodeProb{}, false
+}
+
+// ByLabel returns the first node entry with the given label.
+func (pf *Profile) ByLabel(label string) (NodeProb, bool) {
+	for _, n := range pf.Nodes {
+		if n.Label == label {
+			return n, true
+		}
+	}
+	return NodeProb{}, false
+}
+
+// Ranking returns node IDs ordered by ascending probability.
+func (pf *Profile) Ranking() []int {
+	out := make([]int, len(pf.Nodes))
+	for i, n := range pf.Nodes {
+		out[i] = n.ID
+	}
+	return out
+}
+
+// ProbProf profiles a program against a traffic oracle (nil = uniform
+// header space). This is the paper's main algorithm.
+func ProbProf(progIn *ir.Program, oracle dist.Oracle, optIn Options) (*Profile, error) {
+	opt := optIn.withDefaults()
+	start := time.Now()
+	if oracle == nil {
+		oracle = &dist.UniformOracle{}
+	}
+
+	numNodes := len(progIn.Nodes())
+
+	// Telescoping pass (Figure 3's Telescope): estimate counter-guarded
+	// deep blocks from a short periodic probe. It runs under its own
+	// budget so a branchy probe cannot starve the main loop.
+	teleEst := map[int]prob.P{}
+	if !opt.DisableTelescope {
+		teleEst = telescope(progIn, oracle, opt)
+	}
+
+	// The main loop's deadline starts after the probe.
+	deadline := time.Now().Add(opt.Timeout)
+	engine := sym.NewEngine(progIn, sym.Options{
+		Greybox:  true,
+		Merge:    !opt.DisableMerge,
+		MaxPaths: opt.MaxPaths,
+		Deadline: deadline,
+		Locality: opt.Locality,
+	})
+	counter := mc.NewCounter(engine.Space, oracle)
+	counter.Seed = opt.Seed
+
+	// Main iterative-deepening loop.
+	cur := make([]float64, numNodes)
+	prev := make([]float64, numNodes)
+	best := make([]prob.P, numNodes)
+	everSeen := make([]bool, numNodes)
+	for i := range best {
+		best[i] = prob.Zero()
+	}
+	stable := 0
+	converged := false
+	var stats Stats
+
+	paths := engine.Initial()
+	var symErr error
+	for iter := 0; iter < opt.MaxIters; iter++ {
+		symStart := time.Now()
+		var nps []*sym.Path
+		nps, symErr = engine.Step(paths, iter)
+		stats.SymTime += time.Since(symStart)
+		if symErr != nil {
+			break
+		}
+		paths = nps
+		stats.Iterations = iter + 1
+		stats.Paths += len(paths)
+
+		upStart := time.Now()
+		probs := sym.NodeProbs(paths, counter, numNodes)
+		stats.UpdateProbTime += time.Since(upStart)
+
+		copy(prev, cur)
+		for i, p := range probs {
+			cur[i] = p.Float()
+			if !p.IsZero() {
+				best[i] = p
+				everSeen[i] = true
+			}
+		}
+		if !opt.DisableMerge {
+			paths = sym.Merge(paths, counter)
+		}
+
+		if iter > 0 && maxDiffExcluding(cur, prev, teleEst) < opt.Epsilon {
+			stable++
+			if stable >= opt.stableRounds() {
+				converged = true
+				break
+			}
+		} else {
+			stable = 0
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+	}
+
+	// Store-counter telescoping: guards over sketch estimates and
+	// hash-table flow counters, generalized from the measured update-block
+	// probabilities (see distguard.go).
+	distEst := distGuardEstimates(progIn, opt.Locality, func(id int) (prob.P, bool) {
+		if id < numNodes && everSeen[id] {
+			return best[id], true
+		}
+		return prob.Zero(), false
+	})
+
+	// Sampling fallback for whatever the symbolic loop never reached:
+	// either the loop did not converge, or blocks remain that neither the
+	// loop nor telescoping covered (the "unconverged portion").
+	unreached := 0
+	for _, blk := range progIn.Nodes() {
+		_, tele := teleEst[blk.ID]
+		_, dist := distEst[blk.ID]
+		if !tele && !dist && !everSeen[blk.ID] {
+			unreached++
+		}
+	}
+	sampled := map[int]float64{}
+	if !opt.DisableSampling && (!converged || symErr != nil || unreached > 0) {
+		sampStart := time.Now()
+		sampled = samplePaths(progIn, oracle, opt)
+		stats.SampleTime = time.Since(sampStart)
+	}
+
+	// Assemble the final profile with source attribution: telescoped
+	// estimates own their nodes; converged symbex estimates everything it
+	// reached; sampling covers the remainder.
+	nodes := make([]NodeProb, 0, numNodes)
+	coverage := 0
+	for _, blk := range progIn.Nodes() {
+		np := NodeProb{ID: blk.ID, Label: blk.Label, P: prob.Zero(), Source: SrcUnreached}
+		if te, ok := teleEst[blk.ID]; ok && !te.IsZero() {
+			np.P = te
+			np.Source = SrcTelescope
+			stats.TelescopedNode++
+		} else if everSeen[blk.ID] {
+			np.P = best[blk.ID]
+			np.Source = SrcSymbex
+		} else if de, ok := distEst[blk.ID]; ok && !de.IsZero() {
+			np.P = de
+			np.Source = SrcTelescope
+			stats.TelescopedNode++
+		} else if sp, ok := sampled[blk.ID]; ok && sp > 0 {
+			np.P = prob.FromFloat(sp)
+			np.Source = SrcSampled
+			stats.SampledNodes++
+		}
+		if np.Source != SrcUnreached {
+			coverage++
+		}
+		nodes = append(nodes, np)
+	}
+	sort.SliceStable(nodes, func(i, j int) bool { return nodes[i].P.Less(nodes[j].P) })
+
+	stats.Duration = time.Since(start)
+	stats.Counter = counter.Stats()
+	stats.Engine = engine.Stats
+	stats.OracleQueries = oracle.QueryCount()
+
+	return &Profile{
+		Program:   progIn.Name,
+		Nodes:     nodes,
+		Converged: converged,
+		Coverage:  float64(coverage) / math.Max(1, float64(numNodes)),
+		Stats:     stats,
+	}, nil
+}
+
+// maxDiffExcluding computes the L∞ distance between consecutive profiles,
+// skipping nodes owned by telescoping (their estimates do not come from the
+// main loop).
+func maxDiffExcluding(cur, prev []float64, tele map[int]prob.P) float64 {
+	d := 0.0
+	for i := range cur {
+		if _, ok := tele[i]; ok {
+			continue
+		}
+		if diff := math.Abs(cur[i] - prev[i]); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// String renders the profile as an aligned table, rarest blocks first.
+func (pf *Profile) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "profile of %s: %d blocks, coverage %.0f%%, converged=%v\n",
+		pf.Program, len(pf.Nodes), pf.Coverage*100, pf.Converged)
+	fmt.Fprintf(&b, "%-6s %-28s %-14s %s\n", "rank", "block", "P(per pkt)", "source")
+	for i, n := range pf.Nodes {
+		fmt.Fprintf(&b, "%-6d %-28s %-14s %s\n", i+1, n.Label, n.P, n.Source)
+	}
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/dist"
+	"repro/internal/dut"
+	"repro/internal/ir"
+	"repro/internal/trace"
+)
+
+// samplePaths is the SampPaths phase of Figure 3: when symbolic exploration
+// has not converged within its budget, the profiler estimates the remaining
+// blocks by concrete informed sampling — packets drawn from the traffic
+// oracle's marginals are streamed through the concrete interpreter, and
+// per-packet block hit rates become the probability estimates. The
+// resolution floor is 1/SampleBudget, which is exactly the coarse
+// granularity the paper's Figure 8 demonstrates for the ps baseline.
+//
+// "Informed" part: the sampler honors the oracle's pair-equality answer by
+// replaying the previous packet (a retransmission) with the reported
+// probability, so flow-correlated branches are reachable at realistic rates.
+func samplePaths(progIn *ir.Program, oracle dist.Oracle, opt Options) map[int]float64 {
+	rng := rand.New(rand.NewSource(opt.Seed + 1))
+	gen := NewPacketSampler(progIn, oracle, rng)
+
+	sw := dut.New(progIn, dut.Config{})
+	visitSet := map[int]bool{}
+	sw.VisitHook = func(id int) { visitSet[id] = true }
+
+	counts := map[int]int{}
+	for i := 0; i < opt.SampleBudget; i++ {
+		pkt := gen.Next()
+		for k := range visitSet {
+			delete(visitSet, k)
+		}
+		sw.Process(&pkt)
+		for id := range visitSet {
+			counts[id]++
+		}
+	}
+	out := make(map[int]float64, len(counts))
+	for id, c := range counts {
+		out[id] = float64(c) / float64(opt.SampleBudget)
+	}
+	return out
+}
+
+// PacketSampler draws concrete packets from a traffic oracle's marginal
+// distributions (uniform per field when the oracle has no answer).
+type PacketSampler struct {
+	fields  []ir.Field
+	dists   []dist.Dist
+	rng     *rand.Rand
+	pairEq  float64
+	havePkt bool
+	last    trace.Packet
+	ts      uint64
+}
+
+// NewPacketSampler builds a sampler for a program's header vocabulary.
+func NewPacketSampler(progIn *ir.Program, oracle dist.Oracle, rng *rand.Rand) *PacketSampler {
+	s := &PacketSampler{fields: progIn.Fields, rng: rng}
+	for _, f := range s.fields {
+		if d, ok := oracle.FieldDist(f.Name); ok {
+			s.dists = append(s.dists, d)
+		} else {
+			s.dists = append(s.dists, dist.Uniform(f.Bits))
+		}
+	}
+	if pe, ok := oracle.PairEqualProb("seq"); ok {
+		s.pairEq = pe
+	}
+	return s
+}
+
+// Next draws one packet.
+func (s *PacketSampler) Next() trace.Packet {
+	s.ts += 1000
+	if s.havePkt && s.pairEq > 0 && s.rng.Float64() < s.pairEq {
+		// Retransmission: repeat the previous packet.
+		p := s.last.Clone()
+		p.TS = s.ts
+		return p
+	}
+	var p trace.Packet
+	p.TS = s.ts
+	for i, f := range s.fields {
+		p.SetField(f.Name, s.dists[i].Sample(s.rng))
+	}
+	s.last = p
+	s.havePkt = true
+	return p
+}

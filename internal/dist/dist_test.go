@@ -1,0 +1,183 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestUniform(t *testing.T) {
+	d := Uniform(8)
+	if !almostEq(d.P(0), 1.0/256, 1e-12) || !almostEq(d.P(255), 1.0/256, 1e-12) {
+		t.Fatalf("uniform pmf wrong: %v", d.P(0))
+	}
+	if d.P(256) != 0 {
+		t.Fatal("out of domain should be 0")
+	}
+	if !almostEq(d.MassIn(0, 255), 1, 1e-12) {
+		t.Fatalf("total mass = %v", d.MassIn(0, 255))
+	}
+	if !almostEq(d.MassIn(0, 127), 0.5, 1e-12) {
+		t.Fatalf("half mass = %v", d.MassIn(0, 127))
+	}
+}
+
+func TestPoint(t *testing.T) {
+	d := Point(42)
+	if d.P(42) != 1 || d.P(41) != 0 {
+		t.Fatal("point dist wrong")
+	}
+	if d.CollisionMass() != 1 {
+		t.Fatal("point collision mass should be 1")
+	}
+}
+
+func TestFromPiecesValidation(t *testing.T) {
+	if _, err := FromPieces([]Piece{{Lo: 5, Hi: 3, Mass: 1}}); err == nil {
+		t.Fatal("Hi<Lo should error")
+	}
+	if _, err := FromPieces([]Piece{{Lo: 0, Hi: 10, Mass: 1}, {Lo: 5, Hi: 20, Mass: 1}}); err == nil {
+		t.Fatal("overlap should error")
+	}
+	if _, err := FromPieces([]Piece{{Lo: 0, Hi: 10, Mass: 0}}); err == nil {
+		t.Fatal("zero mass should error")
+	}
+	d, err := FromPieces([]Piece{{Lo: 0, Hi: 9, Mass: 3}, {Lo: 10, Hi: 19, Mass: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(d.MassIn(0, 9), 0.75, 1e-12) {
+		t.Fatalf("normalization wrong: %v", d.MassIn(0, 9))
+	}
+}
+
+func TestSkewedDist(t *testing.T) {
+	// 90% TCP (proto 6), 10% UDP (proto 17) — the DCTCP-style profile.
+	d := MustFromPieces([]Piece{{Lo: 6, Hi: 6, Mass: 0.9}, {Lo: 17, Hi: 17, Mass: 0.1}})
+	if !almostEq(d.P(6), 0.9, 1e-12) || !almostEq(d.P(17), 0.1, 1e-12) {
+		t.Fatalf("pmf: tcp=%v udp=%v", d.P(6), d.P(17))
+	}
+	if !almostEq(d.CollisionMass(), 0.81+0.01, 1e-12) {
+		t.Fatalf("collision mass = %v", d.CollisionMass())
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	d := Uniform(8)
+	r, mass := d.Restrict(0, 63)
+	if !almostEq(mass, 0.25, 1e-12) {
+		t.Fatalf("restrict mass = %v", mass)
+	}
+	if !almostEq(r.MassIn(0, 63), 1, 1e-12) {
+		t.Fatal("restricted dist should be normalized")
+	}
+	if _, m := d.Restrict(300, 400); m != 0 {
+		t.Fatal("empty restrict should have zero mass")
+	}
+}
+
+func TestMixture(t *testing.T) {
+	a := UniformRange(0, 9)
+	b := UniformRange(10, 19)
+	m, err := Mixture([]Dist{a, b}, []float64{0.7, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(m.MassIn(0, 9), 0.7, 1e-9) || !almostEq(m.MassIn(10, 19), 0.3, 1e-9) {
+		t.Fatalf("mixture masses: %v %v", m.MassIn(0, 9), m.MassIn(10, 19))
+	}
+}
+
+func TestSampleRespectsSupport(t *testing.T) {
+	d := MustFromPieces([]Piece{{Lo: 100, Hi: 199, Mass: 0.5}, {Lo: 300, Hi: 399, Mass: 0.5}})
+	rng := rand.New(rand.NewSource(1))
+	inFirst := 0
+	for i := 0; i < 2000; i++ {
+		v := d.Sample(rng)
+		if !((v >= 100 && v <= 199) || (v >= 300 && v <= 399)) {
+			t.Fatalf("sample %d out of support", v)
+		}
+		if v <= 199 {
+			inFirst++
+		}
+	}
+	if inFirst < 800 || inFirst > 1200 {
+		t.Fatalf("first-piece sample count %d far from 1000", inFirst)
+	}
+}
+
+func TestSampleIn(t *testing.T) {
+	d := Uniform(16)
+	rng := rand.New(rand.NewSource(2))
+	v, ok := d.SampleIn(rng, 1000, 1010)
+	if !ok || v < 1000 || v > 1010 {
+		t.Fatalf("SampleIn out of range: %d ok=%v", v, ok)
+	}
+	if _, ok := Point(5).SampleIn(rng, 6, 10); ok {
+		t.Fatal("SampleIn on empty support should fail")
+	}
+}
+
+func TestOracleProfile(t *testing.T) {
+	p := NewProfile().
+		SetField("proto", MustFromPieces([]Piece{{Lo: 6, Hi: 6, Mass: 0.9}, {Lo: 17, Hi: 17, Mass: 0.1}})).
+		SetPairEq("seq", 0.01)
+	if d, ok := p.FieldDist("proto"); !ok || !almostEq(d.P(6), 0.9, 1e-12) {
+		t.Fatal("profile field lookup failed")
+	}
+	if _, ok := p.FieldDist("nope"); ok {
+		t.Fatal("unknown field should report !ok")
+	}
+	if pe, ok := p.PairEqualProb("seq"); !ok || pe != 0.01 {
+		t.Fatal("pair-eq lookup failed")
+	}
+	if p.QueryCount() != 3 {
+		t.Fatalf("query count = %d", p.QueryCount())
+	}
+}
+
+func TestUniformOracle(t *testing.T) {
+	var u UniformOracle
+	if _, ok := u.FieldDist("x"); ok {
+		t.Fatal("uniform oracle should know nothing")
+	}
+	if _, ok := u.PairEqualProb("x"); ok {
+		t.Fatal("uniform oracle should know nothing")
+	}
+	if u.QueryCount() != 2 {
+		t.Fatal("query counting broken")
+	}
+}
+
+// Property: MassIn is additive over a split point.
+func TestMassAdditivity(t *testing.T) {
+	d := MustFromPieces([]Piece{{Lo: 0, Hi: 999, Mass: 0.25}, {Lo: 2000, Hi: 2999, Mass: 0.75}})
+	check := func(cut uint16) bool {
+		c := uint64(cut) % 3000
+		left := d.MassIn(0, c)
+		right := 0.0
+		if c < 2999 {
+			right = d.MassIn(c+1, 2999)
+		}
+		return almostEq(left+right, 1, 1e-9)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CollisionMass is between 1/support and 1.
+func TestCollisionMassBounds(t *testing.T) {
+	check := func(span uint8) bool {
+		hi := uint64(span)%100 + 1
+		d := UniformRange(0, hi)
+		cm := d.CollisionMass()
+		return almostEq(cm, 1/(float64(hi)+1), 1e-12)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package dist
+
+import "sort"
+
+// Oracle answers the interactive traffic-composition queries the profiler
+// issues at runtime (the paper's "oracle", which may be a spec, a human
+// analyst, or a collected trace).
+type Oracle interface {
+	// FieldDist returns the marginal distribution of a header field.
+	// ok is false when the oracle has no information for the field, in
+	// which case callers fall back to the uniform distribution.
+	FieldDist(field string) (Dist, bool)
+
+	// PairEqualProb returns the probability that two packets drawn from
+	// the traffic carry the same value in the field (the correlation that
+	// captures, e.g., TCP retransmission ratios). ok is false when the
+	// oracle cannot answer, in which case independence (CollisionMass) is
+	// assumed.
+	PairEqualProb(field string) (float64, bool)
+
+	// QueryCount reports how many (possibly cached) queries were served;
+	// used by the Figure 7 instrumentation.
+	QueryCount() int
+}
+
+// Profile is a static traffic profile: a prespecified oracle, like the
+// "TCP accounts for 90% of traffic" facts an operator supplies up front.
+type Profile struct {
+	Fields  map[string]Dist
+	PairEq  map[string]float64
+	queries int
+}
+
+// NewProfile creates an empty static profile.
+func NewProfile() *Profile {
+	return &Profile{Fields: map[string]Dist{}, PairEq: map[string]float64{}}
+}
+
+// SetField sets the marginal distribution of a field.
+func (p *Profile) SetField(name string, d Dist) *Profile {
+	p.Fields[name] = d
+	return p
+}
+
+// SetPairEq sets the pair-equality probability of a field.
+func (p *Profile) SetPairEq(name string, prob float64) *Profile {
+	p.PairEq[name] = prob
+	return p
+}
+
+// FieldDist implements Oracle.
+func (p *Profile) FieldDist(field string) (Dist, bool) {
+	p.queries++
+	d, ok := p.Fields[field]
+	return d, ok
+}
+
+// PairEqualProb implements Oracle.
+func (p *Profile) PairEqualProb(field string) (float64, bool) {
+	p.queries++
+	v, ok := p.PairEq[field]
+	return v, ok
+}
+
+// QueryCount implements Oracle.
+func (p *Profile) QueryCount() int { return p.queries }
+
+// FieldNames returns the fields the profile covers, sorted.
+func (p *Profile) FieldNames() []string {
+	out := make([]string, 0, len(p.Fields))
+	for k := range p.Fields {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// UniformOracle answers every query with "unknown", making the profiler
+// fall back to uniform header spaces — the pure model-counting mode.
+type UniformOracle struct{ queries int }
+
+// FieldDist implements Oracle.
+func (u *UniformOracle) FieldDist(string) (Dist, bool) {
+	u.queries++
+	return Dist{}, false
+}
+
+// PairEqualProb implements Oracle.
+func (u *UniformOracle) PairEqualProb(string) (float64, bool) {
+	u.queries++
+	return 0, false
+}
+
+// QueryCount implements Oracle.
+func (u *UniformOracle) QueryCount() int { return u.queries }

@@ -1,0 +1,484 @@
+// Package dut implements the backtesting engine: a software switch that
+// executes IR programs concretely over packet traces (the repository's
+// bmv2/Tofino stand-in). It maintains real register state, real CRC hash
+// tables, Bloom filters and count-min sketches, counts per-port traffic and
+// control-plane interactions, and produces per-second time series — the
+// measurements behind paper Figures 10 and 11.
+//
+// The same interpreter doubles as the concrete executor for path sampling
+// (the profiler's SampPaths phase and the ps baseline) via VisitHook.
+package dut
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+
+	"repro/internal/ir"
+	"repro/internal/trace"
+)
+
+// Config tunes the switch.
+type Config struct {
+	// Ports is the number of egress ports (default 8).
+	Ports int
+	// RecircLimit bounds re-processing of recirculated packets (default 4).
+	// Recirculations are counted rather than re-executed (the Figure 11k
+	// metric is the recirculation count); the limit guards any future
+	// program that loops on Recirculate.
+	RecircLimit int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Ports == 0 {
+		c.Ports = 8
+	}
+	if c.RecircLimit == 0 {
+		c.RecircLimit = 4
+	}
+	return c
+}
+
+// HashOf is the concrete CRC hash shared by the switch and the adversarial
+// test generator (which searches it for collisions).
+func HashOf(seed uint32, vals []uint64, mod uint64) uint64 {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[i*8:], v)
+	}
+	h := crc32.Update(seed, crc32.IEEETable, buf)
+	if mod == 0 {
+		return uint64(h)
+	}
+	return uint64(h) % mod
+}
+
+type htEntry struct {
+	occupied bool
+	key      []uint64
+	val      uint64
+}
+
+type hashTable struct {
+	seed  uint32
+	slots []htEntry
+}
+
+type bloomFilter struct {
+	bits   []bool
+	hashes int
+}
+
+type cmSketch struct {
+	rows, cols int
+	counters   []uint64
+}
+
+// Result reports what happened to one packet.
+type Result struct {
+	Forwarded   bool
+	OutPort     uint64
+	Dropped     bool
+	CPUPunts    int
+	Digests     int
+	Recircs     int
+	Mirrors     int
+	BackendPkts int
+}
+
+// Switch is a concrete interpreter instance with live state.
+type Switch struct {
+	Prog *ir.Program
+	Cfg  Config
+
+	regs     map[string]uint64
+	arrays   map[string][]uint64
+	tables   map[string]*hashTable
+	blooms   map[string]*bloomFilter
+	sketches map[string]*cmSketch
+	meta     map[string]uint64
+
+	// VisitHook, when set, is called for every CFG block entered.
+	VisitHook func(nodeID int)
+
+	processed uint64
+}
+
+// New builds a switch for a program.
+func New(prog *ir.Program, cfg Config) *Switch {
+	s := &Switch{
+		Prog:     prog,
+		Cfg:      cfg.withDefaults(),
+		regs:     map[string]uint64{},
+		arrays:   map[string][]uint64{},
+		tables:   map[string]*hashTable{},
+		blooms:   map[string]*bloomFilter{},
+		sketches: map[string]*cmSketch{},
+	}
+	for _, r := range prog.Regs {
+		s.regs[r.Name] = r.Init
+	}
+	for _, a := range prog.RegArrays {
+		s.arrays[a.Name] = make([]uint64, a.Size)
+	}
+	for _, h := range prog.HashTables {
+		s.tables[h.Name] = &hashTable{seed: h.Seed, slots: make([]htEntry, h.Size)}
+	}
+	for _, b := range prog.Blooms {
+		s.blooms[b.Name] = &bloomFilter{bits: make([]bool, b.Bits), hashes: b.Hashes}
+	}
+	for _, sk := range prog.Sketches {
+		s.sketches[sk.Name] = &cmSketch{rows: sk.Rows, cols: sk.Cols, counters: make([]uint64, sk.Rows*sk.Cols)}
+	}
+	return s
+}
+
+// Reg reads a register (for tests and inspection).
+func (s *Switch) Reg(name string) uint64 { return s.regs[name] }
+
+// Processed returns the number of packets processed.
+func (s *Switch) Processed() uint64 { return s.processed }
+
+// Process runs one packet through the pipeline.
+func (s *Switch) Process(p *trace.Packet) Result {
+	s.processed++
+	s.meta = map[string]uint64{}
+	var res Result
+	s.exec(s.Prog.Root, p, &res, 0)
+	return res
+}
+
+func (s *Switch) exec(st ir.Stmt, p *trace.Packet, res *Result, depth int) {
+	if st == nil || res.Dropped {
+		return
+	}
+	switch t := st.(type) {
+	case *ir.Block:
+		if s.VisitHook != nil {
+			s.VisitHook(t.ID)
+		}
+		for _, c := range t.Stmts {
+			if res.Dropped {
+				return
+			}
+			s.exec(c, p, res, depth)
+		}
+	case *ir.If:
+		if s.cond(t.Cond, p) {
+			s.exec(t.Then, p, res, depth)
+		} else {
+			s.exec(t.Else, p, res, depth)
+		}
+	case *ir.Assign:
+		v := s.eval(t.Expr, p)
+		switch lv := t.Target.(type) {
+		case ir.RegLV:
+			s.regs[lv.Reg] = v
+		case ir.MetaLV:
+			s.meta[lv.Name] = v
+		}
+	case *ir.Action:
+		s.act(t, p, res)
+	case *ir.HashAccess:
+		s.hashAccess(t, p, res, depth)
+	case *ir.BloomOp:
+		s.bloomOp(t, p, res, depth)
+	case *ir.SketchUpdate:
+		s.sketchUpdate(t, p)
+	case *ir.SketchBranch:
+		s.sketchBranch(t, p, res, depth)
+	case *ir.ArrayRead:
+		arr := s.arrays[t.Array]
+		idx := s.eval(t.Index, p)
+		if int(idx) < len(arr) {
+			s.meta[t.Dest] = arr[idx]
+		}
+	case *ir.ArrayWrite:
+		arr := s.arrays[t.Array]
+		idx := s.eval(t.Index, p)
+		if int(idx) < len(arr) {
+			arr[idx] = s.eval(t.Value, p)
+		}
+	case *ir.TableApply:
+		s.applyTable(t, p, res, depth)
+	}
+}
+
+func (s *Switch) act(a *ir.Action, p *trace.Packet, res *Result) {
+	switch a.Kind {
+	case ir.ActForward:
+		res.Forwarded = true
+		if a.Arg != nil {
+			res.OutPort = s.eval(a.Arg, p) % uint64(s.Cfg.Ports)
+		}
+	case ir.ActDrop:
+		res.Dropped = true
+	case ir.ActToCPU:
+		res.CPUPunts++
+	case ir.ActDigest:
+		res.Digests++
+	case ir.ActRecirculate:
+		res.Recircs++
+	case ir.ActMirror:
+		res.Mirrors++
+	case ir.ActToBackend:
+		res.BackendPkts++
+		res.Forwarded = true
+		if a.Arg != nil {
+			res.OutPort = s.eval(a.Arg, p) % uint64(s.Cfg.Ports)
+		}
+	}
+}
+
+func (s *Switch) hashAccess(h *ir.HashAccess, p *trace.Packet, res *Result, depth int) {
+	ht := s.tables[h.Store]
+	key := make([]uint64, len(h.Key))
+	for i, k := range h.Key {
+		key[i] = s.eval(k, p)
+	}
+	idx := HashOf(ht.seed, key, uint64(len(ht.slots)))
+	slot := &ht.slots[idx]
+	wv := uint64(0)
+	if h.Value != nil {
+		wv = s.eval(h.Value, p)
+	}
+	switch {
+	case !slot.occupied:
+		if h.Write {
+			slot.occupied = true
+			slot.key = key
+			slot.val = wv
+			if h.Dest != "" {
+				s.meta[h.Dest] = wv
+			}
+		} else if h.Dest != "" {
+			s.meta[h.Dest] = 0
+		}
+		s.exec(h.OnEmpty, p, res, depth)
+	case keysEqual(slot.key, key):
+		// Reads observe the pre-write value (read-modify-write), except
+		// increments, whose consumers want the updated count.
+		old := slot.val
+		if h.Write {
+			if h.Inc {
+				slot.val += wv
+			} else {
+				slot.val = wv
+			}
+		}
+		if h.Dest != "" {
+			if h.Write && h.Inc {
+				s.meta[h.Dest] = slot.val
+			} else {
+				s.meta[h.Dest] = old
+			}
+		}
+		s.exec(h.OnHit, p, res, depth)
+	default:
+		if h.Dest != "" {
+			s.meta[h.Dest] = slot.val // the resident (foreign) value
+		}
+		if h.Write && h.Evict {
+			slot.key = key
+			slot.val = wv
+		}
+		s.exec(h.OnCollide, p, res, depth)
+	}
+}
+
+func keysEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Switch) bloomOp(b *ir.BloomOp, p *trace.Packet, res *Result, depth int) {
+	bf := s.blooms[b.Filter]
+	key := make([]uint64, len(b.Key))
+	for i, k := range b.Key {
+		key[i] = s.eval(k, p)
+	}
+	hit := true
+	for i := 0; i < bf.hashes; i++ {
+		idx := HashOf(uint32(i)*0x9e3779b9+1, key, uint64(len(bf.bits)))
+		if !bf.bits[idx] {
+			hit = false
+		}
+	}
+	if b.Insert {
+		for i := 0; i < bf.hashes; i++ {
+			idx := HashOf(uint32(i)*0x9e3779b9+1, key, uint64(len(bf.bits)))
+			bf.bits[idx] = true
+		}
+	}
+	if hit {
+		s.exec(b.OnHit, p, res, depth)
+	} else {
+		s.exec(b.OnMiss, p, res, depth)
+	}
+}
+
+func (s *Switch) sketchEstimate(sk *cmSketch, key []uint64) uint64 {
+	est := ^uint64(0)
+	for r := 0; r < sk.rows; r++ {
+		idx := HashOf(uint32(r)*0x85ebca6b+7, key, uint64(sk.cols))
+		if v := sk.counters[r*sk.cols+int(idx)]; v < est {
+			est = v
+		}
+	}
+	if est == ^uint64(0) {
+		return 0
+	}
+	return est
+}
+
+func (s *Switch) sketchUpdate(u *ir.SketchUpdate, p *trace.Packet) {
+	sk := s.sketches[u.Sketch]
+	key := make([]uint64, len(u.Key))
+	for i, k := range u.Key {
+		key[i] = s.eval(k, p)
+	}
+	inc := uint64(1)
+	if u.Inc != nil {
+		inc = s.eval(u.Inc, p)
+	}
+	for r := 0; r < sk.rows; r++ {
+		idx := HashOf(uint32(r)*0x85ebca6b+7, key, uint64(sk.cols))
+		sk.counters[r*sk.cols+int(idx)] += inc
+	}
+	if u.Dest != "" {
+		s.meta[u.Dest] = s.sketchEstimate(sk, key)
+	}
+}
+
+func (s *Switch) sketchBranch(b *ir.SketchBranch, p *trace.Packet, res *Result, depth int) {
+	sk := s.sketches[b.Sketch]
+	key := make([]uint64, len(b.Key))
+	for i, k := range b.Key {
+		key[i] = s.eval(k, p)
+	}
+	est := s.sketchEstimate(sk, key)
+	if cmpU(b.Op, est, b.Threshold) {
+		s.exec(b.OnTrue, p, res, depth)
+	} else {
+		s.exec(b.OnFalse, p, res, depth)
+	}
+}
+
+func (s *Switch) applyTable(t *ir.TableApply, p *trace.Packet, res *Result, depth int) {
+	tbl, ok := s.Prog.Table(t.Table)
+	if !ok {
+		return
+	}
+	keys := make([]uint64, len(tbl.Keys))
+	for i, k := range tbl.Keys {
+		keys[i] = s.eval(k, p)
+	}
+	for _, e := range tbl.Entries {
+		if matchEntry(e.Match, keys) {
+			s.exec(e.Action, p, res, depth)
+			return
+		}
+	}
+	s.exec(tbl.Default, p, res, depth)
+}
+
+func matchEntry(specs []ir.MatchSpec, keys []uint64) bool {
+	for i, sp := range specs {
+		switch sp.Kind {
+		case ir.MatchExact:
+			if keys[i] != sp.Lo {
+				return false
+			}
+		case ir.MatchRange:
+			if keys[i] < sp.Lo || keys[i] > sp.Hi {
+				return false
+			}
+		case ir.MatchWildcard:
+		}
+	}
+	return true
+}
+
+func (s *Switch) cond(c ir.Cond, p *trace.Packet) bool {
+	switch t := c.(type) {
+	case ir.Cmp:
+		return cmpU(t.Op, s.eval(t.A, p), s.eval(t.B, p))
+	case ir.Not:
+		return !s.cond(t.C, p)
+	case ir.AndC:
+		return s.cond(t.A, p) && s.cond(t.B, p)
+	case ir.OrC:
+		return s.cond(t.A, p) || s.cond(t.B, p)
+	}
+	return false
+}
+
+func cmpU(op ir.CmpOp, a, b uint64) bool {
+	switch op {
+	case ir.CmpEq:
+		return a == b
+	case ir.CmpNe:
+		return a != b
+	case ir.CmpLt:
+		return a < b
+	case ir.CmpLe:
+		return a <= b
+	case ir.CmpGt:
+		return a > b
+	case ir.CmpGe:
+		return a >= b
+	}
+	return false
+}
+
+func (s *Switch) eval(e ir.Expr, p *trace.Packet) uint64 {
+	switch t := e.(type) {
+	case ir.Const:
+		return t.V
+	case ir.FieldRef:
+		v, _ := p.Field(t.Name)
+		return v
+	case ir.RegRef:
+		return s.regs[t.Reg]
+	case ir.MetaRef:
+		return s.meta[t.Name]
+	case ir.Bin:
+		a, b := s.eval(t.A, p), s.eval(t.B, p)
+		switch t.Op {
+		case ir.OpAdd:
+			return a + b
+		case ir.OpSub:
+			return a - b
+		case ir.OpMul:
+			return a * b
+		case ir.OpAnd:
+			return a & b
+		case ir.OpOr:
+			return a | b
+		case ir.OpXor:
+			return a ^ b
+		case ir.OpMod:
+			if b == 0 {
+				return 0
+			}
+			return a % b
+		case ir.OpShl:
+			return a << (b & 63)
+		case ir.OpShr:
+			return a >> (b & 63)
+		}
+	case ir.HashExpr:
+		vals := make([]uint64, len(t.Args))
+		for i, a := range t.Args {
+			vals[i] = s.eval(a, p)
+		}
+		return HashOf(t.Seed, vals, t.Mod)
+	}
+	return 0
+}

@@ -1,0 +1,324 @@
+package greybox
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestValueDistBasics(t *testing.T) {
+	d := NewValueDist()
+	d.AddMass(10, 0.5)
+	d.AddMass(20, 0.5)
+	if !almostEq(d.P(10), 0.5, 1e-12) || d.P(30) != 0 {
+		t.Fatal("pmf wrong")
+	}
+	if !almostEq(d.Total(), 1, 1e-12) {
+		t.Fatal("total wrong")
+	}
+	d.AddMass(10, 0.5)
+	if !almostEq(d.P(10), 1.0, 1e-12) {
+		t.Fatal("mass should accumulate on same value")
+	}
+}
+
+func TestValueDistShift(t *testing.T) {
+	d := PointDist(5)
+	d.Shift(3)
+	if d.P(8) != 1 {
+		t.Fatal("shift up wrong")
+	}
+	d.Shift(-10)
+	if d.P(0) != 1 {
+		t.Fatal("shift should saturate at 0")
+	}
+	// Saturation merges mass.
+	d2 := NewValueDist()
+	d2.AddMass(1, 0.5)
+	d2.AddMass(2, 0.5)
+	d2.Shift(-5)
+	if !almostEq(d2.P(0), 1, 1e-12) {
+		t.Fatal("saturated masses should merge")
+	}
+}
+
+func TestValueDistCompaction(t *testing.T) {
+	d := NewValueDist()
+	for i := 0; i < maxSupport*3; i++ {
+		d.AddMass(uint64(i), 1.0/float64(maxSupport*3))
+	}
+	if d.Len() > maxSupport {
+		t.Fatalf("support %d exceeds bound %d", d.Len(), maxSupport)
+	}
+	if !almostEq(d.Total(), 1, 1e-9) {
+		t.Fatalf("compaction lost mass: %v", d.Total())
+	}
+}
+
+func TestValueDistMin(t *testing.T) {
+	a := NewValueDist()
+	a.AddMass(1, 0.5)
+	a.AddMass(3, 0.5)
+	b := NewValueDist()
+	b.AddMass(2, 1.0)
+	m := a.Min(b)
+	// min: X=1 (p=.5) -> 1; X=3,Y=2 -> 2.
+	if !almostEq(m.P(1), 0.5, 1e-12) || !almostEq(m.P(2), 0.5, 1e-12) {
+		t.Fatalf("min dist wrong: %v", m)
+	}
+	if !almostEq(m.Total(), 1, 1e-12) {
+		t.Fatalf("min dist mass: %v", m.Total())
+	}
+}
+
+func TestValueDistKeyDeterministic(t *testing.T) {
+	a := NewValueDist()
+	a.AddMass(5, 0.25)
+	a.AddMass(1, 0.75)
+	b := NewValueDist()
+	b.AddMass(1, 0.75)
+	b.AddMass(5, 0.25)
+	if a.Key() != b.Key() {
+		t.Fatal("key should be order-independent")
+	}
+}
+
+func TestHashStoreEmptyAccess(t *testing.T) {
+	h := NewHashStore(1024)
+	pe, ph, pc := h.AccessProbs()
+	if pe != 1 || ph != 0 || pc != 0 {
+		t.Fatalf("empty table: %v %v %v", pe, ph, pc)
+	}
+}
+
+func TestHashStoreFigure5Write(t *testing.T) {
+	h := NewHashStore(4)
+	h.ApplyEmptyWrite(15)
+	h.ApplyEmptyWrite(0)
+	h.ApplyEmptyWrite(0)
+	// Figure 4's example: values {15: 1/3, 0: 2/3}, 3 entries of 4 slots.
+	if !almostEq(h.Vals.P(15), 1.0/3, 1e-9) || !almostEq(h.Vals.P(0), 2.0/3, 1e-9) {
+		t.Fatalf("value dist: %v", h.Vals)
+	}
+	if h.Entries != 3 {
+		t.Fatalf("entries = %v", h.Entries)
+	}
+	pe, ph, pc := h.AccessProbs()
+	if !almostEq(pe+ph+pc, 1, 1e-9) {
+		t.Fatalf("probs don't sum to 1: %v %v %v", pe, ph, pc)
+	}
+	// With 3/4 occupancy, collide must outweigh empty for a fresh key.
+	if pc <= pe {
+		t.Fatalf("with high occupancy collide (%v) should exceed empty (%v)", pc, pe)
+	}
+}
+
+func TestHashStoreFillsUp(t *testing.T) {
+	h := NewHashStore(8)
+	for i := 0; i < 8; i++ {
+		h.ApplyEmptyWrite(uint64(i))
+	}
+	pe, _, _ := h.AccessProbs()
+	if pe != 0 {
+		t.Fatalf("full table should have pEmpty=0, got %v", pe)
+	}
+}
+
+func TestHashStoreHitInc(t *testing.T) {
+	h := NewHashStore(16)
+	h.ApplyEmptyWrite(0)
+	nd := h.ApplyHitInc(1)
+	if nd.P(1) != 1 {
+		t.Fatalf("incremented entry should be 1: %v", nd)
+	}
+	// After a few increments the new-value distribution moves right.
+	for i := 0; i < 5; i++ {
+		nd = h.ApplyHitInc(1)
+	}
+	mass := nd.MassWhere(func(v uint64) bool { return v >= 2 })
+	if mass < 0.5 {
+		t.Fatalf("after 6 increments most mass should be >= 2, got %v", mass)
+	}
+}
+
+func TestHashStoreCloneIsolation(t *testing.T) {
+	h := NewHashStore(16)
+	h.ApplyEmptyWrite(7)
+	c := h.Clone()
+	c.ApplyEmptyWrite(9)
+	if h.Entries != 1 || c.Entries != 2 {
+		t.Fatal("clone should not share entry count")
+	}
+	if h.Vals.P(9) != 0 {
+		t.Fatal("clone shares value dist")
+	}
+}
+
+func TestBloomEmpty(t *testing.T) {
+	b := NewBloomStore(1024, 3)
+	if b.HitProb() != 0 {
+		t.Fatal("empty filter should never hit")
+	}
+	if b.FalsePositiveRate() != 0 {
+		t.Fatal("empty filter FPR should be 0")
+	}
+}
+
+func TestBloomFPRGrowth(t *testing.T) {
+	b := NewBloomStore(1024, 3)
+	var prev float64
+	for i := 0; i < 500; i++ {
+		b.Insert()
+		fpr := b.FalsePositiveRate()
+		if fpr < prev {
+			t.Fatalf("FPR should be monotone: %v < %v at %d inserts", fpr, prev, i)
+		}
+		prev = fpr
+	}
+	if prev <= 0 || prev >= 1 {
+		t.Fatalf("FPR after 500 inserts = %v", prev)
+	}
+	// Textbook formula check at n=100.
+	b2 := NewBloomStore(1024, 3)
+	for i := 0; i < 100; i++ {
+		b2.Insert()
+	}
+	want := math.Pow(1-math.Pow(1-1.0/1024, 300), 3)
+	if !almostEq(b2.FalsePositiveRate(), want, 1e-12) {
+		t.Fatalf("FPR = %v want %v", b2.FalsePositiveRate(), want)
+	}
+}
+
+func TestBloomSmallerFilterWorseFPR(t *testing.T) {
+	small := NewBloomStore(256, 3)
+	large := NewBloomStore(65536, 3)
+	for i := 0; i < 200; i++ {
+		small.Insert()
+		large.Insert()
+	}
+	if small.FalsePositiveRate() <= large.FalsePositiveRate() {
+		t.Fatal("smaller filter should have higher FPR")
+	}
+}
+
+func TestSketchUpdate(t *testing.T) {
+	s := NewSketchStore(3, 1024)
+	est := s.Update(1)
+	if est.Total() <= 0 {
+		t.Fatal("estimate dist empty")
+	}
+	if s.Total != 1 {
+		t.Fatalf("total = %v", s.Total)
+	}
+	for i := 0; i < 100; i++ {
+		est = s.Update(1)
+	}
+	// Estimates should mostly exceed 1 after 100 updates with locality.
+	mass := est.MassWhere(func(v uint64) bool { return v >= 2 })
+	if mass < 0.5 {
+		t.Fatalf("estimate mass >= 2 is %v", mass)
+	}
+}
+
+func TestSketchOvercountGrows(t *testing.T) {
+	s := NewSketchStore(3, 64)
+	for i := 0; i < 1000; i++ {
+		s.Update(1)
+	}
+	if s.Overcount() <= 0 {
+		t.Fatal("overcount should be positive after many updates")
+	}
+	s2 := NewSketchStore(3, 65536)
+	for i := 0; i < 1000; i++ {
+		s2.Update(1)
+	}
+	if s2.Overcount() >= s.Overcount() {
+		t.Fatal("wider sketch should overcount less")
+	}
+}
+
+func TestStoreKeysStable(t *testing.T) {
+	h := NewHashStore(16)
+	h.ApplyEmptyWrite(3)
+	k1 := h.Key()
+	h2 := NewHashStore(16)
+	h2.ApplyEmptyWrite(3)
+	if k1 != h2.Key() {
+		t.Fatal("identical stores should share state keys")
+	}
+	h2.ApplyEmptyWrite(4)
+	if k1 == h2.Key() {
+		t.Fatal("different stores should differ")
+	}
+}
+
+// Property: AccessProbs always forms a probability distribution.
+func TestAccessProbsSumToOne(t *testing.T) {
+	check := func(size uint8, entries uint8, loc uint8) bool {
+		n := int(size)%1000 + 1
+		h := NewHashStore(n)
+		h.Entries = float64(entries)
+		h.Locality = float64(loc%100) / 100
+		if h.Entries == 0 {
+			h.Locality = 0
+		}
+		pe, ph, pc := h.AccessProbs()
+		if pe < 0 || ph < 0 || pc < 0 {
+			return false
+		}
+		return almostEq(pe+ph+pc, 1, 1e-9)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ValueDist mass is conserved by Shift and Mix.
+func TestMassConservation(t *testing.T) {
+	check := func(vals []uint16, shift int8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		d := NewValueDist()
+		for _, v := range vals {
+			d.AddMass(uint64(v), 1)
+		}
+		d.Normalize()
+		before := d.Total()
+		d.Shift(int64(shift))
+		return almostEq(d.Total(), before, 1e-9)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueDistMap(t *testing.T) {
+	d := NewValueDist()
+	d.AddMass(5, 0.25)
+	d.AddMass(13, 0.25)
+	d.AddMass(21, 0.5)
+	m := d.Map(func(v uint64) uint64 { return v % 8 })
+	// 5%8=5, 13%8=5, 21%8=5: all collapse.
+	if !almostEq(m.P(5), 1.0, 1e-12) {
+		t.Fatalf("mapped mass = %v", m.P(5))
+	}
+	if !almostEq(m.Total(), 1, 1e-12) {
+		t.Fatal("map lost mass")
+	}
+	// Original untouched.
+	if !almostEq(d.P(21), 0.5, 1e-12) {
+		t.Fatal("map mutated source")
+	}
+}
+
+func TestValueDistMixWeights(t *testing.T) {
+	a := PointDist(1)
+	b := PointDist(2)
+	a.Mix(b, 0.25)
+	if !almostEq(a.P(1), 0.75, 1e-12) || !almostEq(a.P(2), 0.25, 1e-12) {
+		t.Fatalf("mix wrong: %v", a)
+	}
+}

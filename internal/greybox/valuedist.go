@@ -1,0 +1,202 @@
+// Package greybox implements the paper's greybox analysis of approximate
+// data structures. Instead of tracking every slot of a CRC hash table,
+// Bloom filter, or count-min sketch symbolically (which scales with the
+// structure size and produces unsolvable CRC constraints), each structure is
+// replaced by a "probabilistic data store" that tracks only the statistics
+// needed for profiling: the distribution of stored values, the number of
+// active entries, and the structure's well-established collision rates.
+// Each access forks a constant number of paths (empty/hit/collide), so the
+// analysis scales independently of the structure size (paper Figures 4/5).
+package greybox
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// maxSupport bounds the tracked value-distribution support; the
+// lowest-probability values are merged into their nearest neighbor when the
+// support overflows. This is what keeps greybox state small.
+const maxSupport = 64
+
+// ValueDist is a bounded discrete probability distribution over stored
+// values (the (v_i, p_i) tuples of paper Figure 4).
+type ValueDist struct {
+	vs []uint64
+	ps []float64
+}
+
+// NewValueDist returns an empty distribution.
+func NewValueDist() *ValueDist { return &ValueDist{} }
+
+// PointDist returns a distribution concentrated on v.
+func PointDist(v uint64) *ValueDist {
+	return &ValueDist{vs: []uint64{v}, ps: []float64{1}}
+}
+
+// Len returns the support size.
+func (d *ValueDist) Len() int { return len(d.vs) }
+
+// Support returns the values and probabilities (shared slices; callers must
+// not mutate).
+func (d *ValueDist) Support() ([]uint64, []float64) { return d.vs, d.ps }
+
+// Clone deep-copies the distribution.
+func (d *ValueDist) Clone() *ValueDist {
+	return &ValueDist{
+		vs: append([]uint64(nil), d.vs...),
+		ps: append([]float64(nil), d.ps...),
+	}
+}
+
+// P returns the probability of value v.
+func (d *ValueDist) P(v uint64) float64 {
+	for i, x := range d.vs {
+		if x == v {
+			return d.ps[i]
+		}
+	}
+	return 0
+}
+
+// AddMass adds probability mass to value v, keeping the support bounded.
+func (d *ValueDist) AddMass(v uint64, p float64) {
+	if p <= 0 {
+		return
+	}
+	for i, x := range d.vs {
+		if x == v {
+			d.ps[i] += p
+			return
+		}
+	}
+	d.vs = append(d.vs, v)
+	d.ps = append(d.ps, p)
+	if len(d.vs) > maxSupport {
+		d.compact()
+	}
+}
+
+// Scale multiplies all masses by f.
+func (d *ValueDist) Scale(f float64) {
+	for i := range d.ps {
+		d.ps[i] *= f
+	}
+}
+
+// Shift translates all values by delta (saturating at 0 below).
+func (d *ValueDist) Shift(delta int64) {
+	merged := NewValueDist()
+	for i, v := range d.vs {
+		nv := int64(v) + delta
+		if nv < 0 {
+			nv = 0
+		}
+		merged.AddMass(uint64(nv), d.ps[i])
+	}
+	*d = *merged
+}
+
+// Normalize rescales masses to sum to 1 (no-op on an empty distribution).
+func (d *ValueDist) Normalize() {
+	t := d.Total()
+	if t <= 0 {
+		return
+	}
+	d.Scale(1 / t)
+}
+
+// Total returns the total mass.
+func (d *ValueDist) Total() float64 {
+	t := 0.0
+	for _, p := range d.ps {
+		t += p
+	}
+	return t
+}
+
+// MassWhere returns the mass of values satisfying pred.
+func (d *ValueDist) MassWhere(pred func(uint64) bool) float64 {
+	m := 0.0
+	for i, v := range d.vs {
+		if pred(v) {
+			m += d.ps[i]
+		}
+	}
+	return m
+}
+
+// Mix blends another distribution in with the given weight:
+// d = (1-w)*d + w*o.
+func (d *ValueDist) Mix(o *ValueDist, w float64) {
+	d.Scale(1 - w)
+	for i, v := range o.vs {
+		d.AddMass(v, w*o.ps[i])
+	}
+}
+
+// Min returns the distribution of min(X, Y) for independent X ~ d, Y ~ o —
+// used to compose count-min sketch rows.
+func (d *ValueDist) Min(o *ValueDist) *ValueDist {
+	out := NewValueDist()
+	for i, v := range d.vs {
+		// P(min == v, X == v) = P(X==v) * P(Y >= v)
+		out.AddMass(v, d.ps[i]*o.MassWhere(func(y uint64) bool { return y >= v }))
+	}
+	for j, y := range o.vs {
+		// P(min == y, Y == y, X > y)
+		out.AddMass(y, o.ps[j]*d.MassWhere(func(x uint64) bool { return x > y }))
+	}
+	return out
+}
+
+// Map returns a new distribution with every value transformed by f
+// (masses of coinciding images merge).
+func (d *ValueDist) Map(f func(uint64) uint64) *ValueDist {
+	out := NewValueDist()
+	for i, v := range d.vs {
+		out.AddMass(f(v), d.ps[i])
+	}
+	return out
+}
+
+// compact merges the two lowest-mass support points.
+func (d *ValueDist) compact() {
+	if len(d.vs) <= 1 {
+		return
+	}
+	lo1, lo2 := -1, -1
+	for i := range d.ps {
+		if lo1 == -1 || d.ps[i] < d.ps[lo1] {
+			lo2 = lo1
+			lo1 = i
+		} else if lo2 == -1 || d.ps[i] < d.ps[lo2] {
+			lo2 = i
+		}
+	}
+	// Merge lo1 into lo2 (weighted value kept as lo2's).
+	d.ps[lo2] += d.ps[lo1]
+	d.vs = append(d.vs[:lo1], d.vs[lo1+1:]...)
+	d.ps = append(d.ps[:lo1], d.ps[lo1+1:]...)
+}
+
+// Key returns a canonical state fingerprint used for path merging:
+// probabilities are quantized so that paths whose store states differ only
+// by floating-point noise coalesce.
+func (d *ValueDist) Key() string {
+	idx := make([]int, len(d.vs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return d.vs[idx[a]] < d.vs[idx[b]] })
+	var b strings.Builder
+	for _, i := range idx {
+		fmt.Fprintf(&b, "%d:%.4f;", d.vs[i], d.ps[i])
+	}
+	return b.String()
+}
+
+func (d *ValueDist) String() string {
+	return "{" + d.Key() + "}"
+}

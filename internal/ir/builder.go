@@ -1,0 +1,103 @@
+package ir
+
+// Builder helpers. These keep program-zoo definitions terse and readable:
+//
+//	ir.If2(ir.Eq(ir.F("proto"), ir.C(ir.ProtoTCP)),
+//	    ir.Blk("tcp", ir.Add1("tcp_cnt"), ir.Fwd(1)),
+//	    ir.Blk("udp", ir.Fwd(2)))
+
+// C makes a constant expression.
+func C(v uint64) Const { return Const{V: v} }
+
+// F reads a header field of the current packet.
+func F(name string) FieldRef { return FieldRef{Name: name} }
+
+// R reads a scalar register.
+func R(name string) RegRef { return RegRef{Reg: name} }
+
+// M reads per-packet metadata.
+func M(name string) MetaRef { return MetaRef{Name: name} }
+
+// Add, Sub, Mul, BitAnd, BitOr, Xor, Mod build binary expressions.
+func Add(a, b Expr) Bin    { return Bin{Op: OpAdd, A: a, B: b} }
+func Sub(a, b Expr) Bin    { return Bin{Op: OpSub, A: a, B: b} }
+func Mul(a, b Expr) Bin    { return Bin{Op: OpMul, A: a, B: b} }
+func BitAnd(a, b Expr) Bin { return Bin{Op: OpAnd, A: a, B: b} }
+func BitOr(a, b Expr) Bin  { return Bin{Op: OpOr, A: a, B: b} }
+func Xor(a, b Expr) Bin    { return Bin{Op: OpXor, A: a, B: b} }
+func Mod(a, b Expr) Bin    { return Bin{Op: OpMod, A: a, B: b} }
+
+// Hash builds a CRC hash expression over args reduced modulo mod.
+func Hash(seed uint32, mod uint64, args ...Expr) HashExpr {
+	return HashExpr{Seed: seed, Args: args, Mod: mod}
+}
+
+// Comparison conditions.
+func Eq(a, b Expr) Cmp { return Cmp{Op: CmpEq, A: a, B: b} }
+func Ne(a, b Expr) Cmp { return Cmp{Op: CmpNe, A: a, B: b} }
+func Lt(a, b Expr) Cmp { return Cmp{Op: CmpLt, A: a, B: b} }
+func Le(a, b Expr) Cmp { return Cmp{Op: CmpLe, A: a, B: b} }
+func Gt(a, b Expr) Cmp { return Cmp{Op: CmpGt, A: a, B: b} }
+func Ge(a, b Expr) Cmp { return Cmp{Op: CmpGe, A: a, B: b} }
+
+// And and Or combine conditions; Neg negates one.
+func And(a, b Cond) AndC { return AndC{A: a, B: b} }
+func Or(a, b Cond) OrC   { return OrC{A: a, B: b} }
+func Neg(c Cond) Not     { return Not{C: c} }
+
+// FlagSet tests whether the given TCP flag bits are all set.
+func FlagSet(bits uint64) Cond {
+	return Cmp{Op: CmpEq, A: Bin{Op: OpAnd, A: F("tcp_flags"), B: C(bits)}, B: C(bits)}
+}
+
+// Blk makes a labeled basic block.
+func Blk(label string, stmts ...Stmt) *Block {
+	return &Block{Label: label, Stmts: stmts}
+}
+
+// Body makes the unlabeled root block of a program.
+func Body(stmts ...Stmt) *Block {
+	return &Block{Label: "entry", Stmts: stmts}
+}
+
+// If2 makes a two-armed branch; If1 a one-armed branch.
+func If2(c Cond, then, els Stmt) *If { return &If{Cond: c, Then: then, Else: els} }
+func If1(c Cond, then Stmt) *If      { return &If{Cond: c, Then: then} }
+
+// Set assigns an expression to a scalar register.
+func Set(reg string, e Expr) *Assign { return &Assign{Target: RegLV{Reg: reg}, Expr: e} }
+
+// SetM assigns an expression to a metadata slot.
+func SetM(name string, e Expr) *Assign { return &Assign{Target: MetaLV{Name: name}, Expr: e} }
+
+// Add1 increments a scalar register by one.
+func Add1(reg string) *Assign {
+	return &Assign{Target: RegLV{Reg: reg}, Expr: Bin{Op: OpAdd, A: RegRef{Reg: reg}, B: Const{V: 1}}}
+}
+
+// AddN adds a constant to a scalar register.
+func AddN(reg string, n uint64) *Assign {
+	return &Assign{Target: RegLV{Reg: reg}, Expr: Bin{Op: OpAdd, A: RegRef{Reg: reg}, B: Const{V: n}}}
+}
+
+// Actions.
+func Fwd(port uint64) *Action    { return &Action{Kind: ActForward, Arg: Const{V: port}} }
+func FwdE(port Expr) *Action     { return &Action{Kind: ActForward, Arg: port} }
+func Drop() *Action              { return &Action{Kind: ActDrop} }
+func ToCPU() *Action             { return &Action{Kind: ActToCPU} }
+func Digest() *Action            { return &Action{Kind: ActDigest} }
+func Recirc() *Action            { return &Action{Kind: ActRecirculate} }
+func Mirror(port uint64) *Action { return &Action{Kind: ActMirror, Arg: Const{V: port}} }
+func ToBackend(port uint64) *Action {
+	return &Action{Kind: ActToBackend, Arg: Const{V: port}}
+}
+
+// FlowKey is the conventional 5-tuple key expression list.
+func FlowKey() []Expr {
+	return []Expr{F("src_ip"), F("dst_ip"), F("src_port"), F("dst_port"), F("proto")}
+}
+
+// Exact builds an exact MatchSpec; Range a range; Wild a wildcard.
+func Exact(v uint64) MatchSpec      { return MatchSpec{Kind: MatchExact, Lo: v} }
+func Range(lo, hi uint64) MatchSpec { return MatchSpec{Kind: MatchRange, Lo: lo, Hi: hi} }
+func Wild() MatchSpec               { return MatchSpec{Kind: MatchWildcard} }

@@ -1,0 +1,111 @@
+package ir
+
+// CFG is the control-flow graph over a program's basic blocks. Edges follow
+// syntactic structure: a block has an edge to every block that can execute
+// immediately within or after it during one packet's processing, plus a
+// back-edge from every terminal block to the entry (the implicit
+// infinite per-packet loop of a data-plane system).
+type CFG struct {
+	prog *Program
+	succ [][]int
+}
+
+// BuildCFG computes the control-flow graph of a built program.
+func BuildCFG(p *Program) *CFG {
+	g := &CFG{prog: p, succ: make([][]int, len(p.nodes))}
+	// Structural edges: parent block -> child arm blocks.
+	var visit func(s Stmt, owner int)
+	visit = func(s Stmt, owner int) {
+		if s == nil {
+			return
+		}
+		switch t := s.(type) {
+		case *Block:
+			if owner >= 0 {
+				g.addEdge(owner, t.ID)
+			}
+			for _, c := range t.Stmts {
+				visit(c, t.ID)
+			}
+		case *If:
+			visit(t.Then, owner)
+			visit(t.Else, owner)
+		case *HashAccess:
+			visit(t.OnEmpty, owner)
+			visit(t.OnHit, owner)
+			visit(t.OnCollide, owner)
+		case *BloomOp:
+			visit(t.OnHit, owner)
+			visit(t.OnMiss, owner)
+		case *SketchBranch:
+			visit(t.OnTrue, owner)
+			visit(t.OnFalse, owner)
+		case *TableApply:
+			if tbl, ok := p.Table(t.Table); ok {
+				for _, e := range tbl.Entries {
+					visit(e.Action, owner)
+				}
+				visit(tbl.Default, owner)
+			}
+		}
+	}
+	root, _ := p.Root.(*Block)
+	visit(root, -1)
+	// Loop edges: every leaf block returns to entry for the next packet.
+	if root != nil {
+		for id := range g.succ {
+			if len(g.succ[id]) == 0 && id != root.ID {
+				g.addEdge(id, root.ID)
+			}
+		}
+	}
+	return g
+}
+
+func (g *CFG) addEdge(from, to int) {
+	for _, s := range g.succ[from] {
+		if s == to {
+			return
+		}
+	}
+	g.succ[from] = append(g.succ[from], to)
+}
+
+// Succ returns the successor node IDs of a node.
+func (g *CFG) Succ(id int) []int { return g.succ[id] }
+
+// NumNodes returns the number of CFG nodes.
+func (g *CFG) NumNodes() int { return len(g.succ) }
+
+// DistanceTo computes, for every node, the minimum number of edges to reach
+// target (possibly across the per-packet loop edge). Unreachable nodes get
+// a large sentinel. This drives directed symbolic execution: exploration
+// prefers successors with smaller distance to the target block.
+func (g *CFG) DistanceTo(target int) []int {
+	const inf = 1 << 30
+	n := len(g.succ)
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	// Reverse BFS from the target.
+	radj := make([][]int, n)
+	for u, ss := range g.succ {
+		for _, v := range ss {
+			radj[v] = append(radj[v], u)
+		}
+	}
+	queue := []int{target}
+	dist[target] = 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range radj[u] {
+			if dist[v] > dist[u]+1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}

@@ -1,0 +1,151 @@
+package ir
+
+// Deep-clone and rewrite support, used by pipeline composition: cloned
+// statement trees can be re-Built under a new program (fresh node IDs), and
+// a rewriter can rename state references and relabel blocks along the way.
+
+// Rewriter customizes a clone pass. Nil members are identity.
+type Rewriter struct {
+	// Label rewrites block labels.
+	Label func(string) string
+	// State rewrites register/array/store/table names.
+	State func(string) string
+	// Action rewrites terminal actions (may return a different statement,
+	// e.g. to capture forwarding decisions in metadata).
+	Action func(*Action) Stmt
+}
+
+func (r *Rewriter) label(s string) string {
+	if r == nil || r.Label == nil {
+		return s
+	}
+	return r.Label(s)
+}
+
+func (r *Rewriter) state(s string) string {
+	if r == nil || r.State == nil {
+		return s
+	}
+	return r.State(s)
+}
+
+// CloneExpr deep-copies an expression, applying the rewriter to register
+// references.
+func CloneExpr(e Expr, rw *Rewriter) Expr {
+	switch t := e.(type) {
+	case nil:
+		return nil
+	case Const, FieldRef, MetaRef:
+		return t
+	case RegRef:
+		return RegRef{Reg: rw.state(t.Reg)}
+	case Bin:
+		return Bin{Op: t.Op, A: CloneExpr(t.A, rw), B: CloneExpr(t.B, rw)}
+	case HashExpr:
+		args := make([]Expr, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = CloneExpr(a, rw)
+		}
+		return HashExpr{Seed: t.Seed, Args: args, Mod: t.Mod}
+	}
+	return e
+}
+
+func cloneExprs(es []Expr, rw *Rewriter) []Expr {
+	if es == nil {
+		return nil
+	}
+	out := make([]Expr, len(es))
+	for i, e := range es {
+		out[i] = CloneExpr(e, rw)
+	}
+	return out
+}
+
+// CloneCond deep-copies a condition.
+func CloneCond(c Cond, rw *Rewriter) Cond {
+	switch t := c.(type) {
+	case nil:
+		return nil
+	case Cmp:
+		return Cmp{Op: t.Op, A: CloneExpr(t.A, rw), B: CloneExpr(t.B, rw)}
+	case Not:
+		return Not{C: CloneCond(t.C, rw)}
+	case AndC:
+		return AndC{A: CloneCond(t.A, rw), B: CloneCond(t.B, rw)}
+	case OrC:
+		return OrC{A: CloneCond(t.A, rw), B: CloneCond(t.B, rw)}
+	}
+	return c
+}
+
+// CloneStmt deep-copies a statement tree, applying the rewriter. The clone
+// carries no node IDs; Build on the enclosing program assigns fresh ones.
+func CloneStmt(s Stmt, rw *Rewriter) Stmt {
+	switch t := s.(type) {
+	case nil:
+		return nil
+	case *Block:
+		out := &Block{Label: rw.label(t.Label)}
+		for _, c := range t.Stmts {
+			out.Stmts = append(out.Stmts, CloneStmt(c, rw))
+		}
+		return out
+	case *If:
+		return &If{
+			Cond: CloneCond(t.Cond, rw),
+			Then: CloneStmt(t.Then, rw),
+			Else: CloneStmt(t.Else, rw),
+		}
+	case *Assign:
+		out := &Assign{Expr: CloneExpr(t.Expr, rw)}
+		switch lv := t.Target.(type) {
+		case RegLV:
+			out.Target = RegLV{Reg: rw.state(lv.Reg)}
+		case MetaLV:
+			out.Target = lv
+		}
+		return out
+	case *Action:
+		cp := &Action{Kind: t.Kind, Arg: CloneExpr(t.Arg, rw)}
+		if rw != nil && rw.Action != nil {
+			return rw.Action(cp)
+		}
+		return cp
+	case *HashAccess:
+		return &HashAccess{
+			Store: rw.state(t.Store), Key: cloneExprs(t.Key, rw),
+			Write: t.Write, Value: CloneExpr(t.Value, rw),
+			Evict: t.Evict, Inc: t.Inc, Dest: t.Dest,
+			OnEmpty:   CloneStmt(t.OnEmpty, rw),
+			OnHit:     CloneStmt(t.OnHit, rw),
+			OnCollide: CloneStmt(t.OnCollide, rw),
+		}
+	case *BloomOp:
+		return &BloomOp{
+			Filter: rw.state(t.Filter), Key: cloneExprs(t.Key, rw),
+			Insert: t.Insert,
+			OnHit:  CloneStmt(t.OnHit, rw),
+			OnMiss: CloneStmt(t.OnMiss, rw),
+		}
+	case *SketchUpdate:
+		return &SketchUpdate{
+			Sketch: rw.state(t.Sketch), Key: cloneExprs(t.Key, rw),
+			Inc: CloneExpr(t.Inc, rw), Dest: t.Dest,
+		}
+	case *SketchBranch:
+		return &SketchBranch{
+			Sketch: rw.state(t.Sketch), Key: cloneExprs(t.Key, rw),
+			Op: t.Op, Threshold: t.Threshold,
+			OnTrue:  CloneStmt(t.OnTrue, rw),
+			OnFalse: CloneStmt(t.OnFalse, rw),
+		}
+	case *ArrayRead:
+		return &ArrayRead{Array: rw.state(t.Array), Index: CloneExpr(t.Index, rw), Dest: t.Dest}
+	case *ArrayWrite:
+		return &ArrayWrite{Array: rw.state(t.Array), Index: CloneExpr(t.Index, rw), Value: CloneExpr(t.Value, rw)}
+	case *TableApply:
+		return &TableApply{Table: rw.state(t.Table)}
+	}
+	return s
+}

@@ -1,0 +1,120 @@
+package ir
+
+import "fmt"
+
+// ComposePipeline glues two data-plane programs into one monolithic program
+// for joint analysis — the multi-device direction the paper's §6 sketches
+// ("composing multiple switch programs as one monolithic system").
+//
+// The upstream program runs first; when it forwards a packet to linkPort,
+// the packet continues into the downstream program. Drops and punts in the
+// upstream stage terminate processing as they would on a real wire. All
+// state and table names are prefixed (up_/dn_) so the stages remain
+// independent; block labels are prefixed likewise.
+//
+// Upstream forwarding decisions are captured in metadata rather than
+// emitted as terminal actions: a Forward(p) in the upstream stage becomes
+// "meta.__link = p+1" plus, when p != linkPort, a real Forward (the packet
+// leaves the pipeline at the upstream switch).
+func ComposePipeline(name string, up, dn *Program, linkPort uint64) (*Program, error) {
+	if up.Root == nil || dn.Root == nil {
+		return nil, fmt.Errorf("ir: compose: both programs must have bodies")
+	}
+	out := &Program{Name: name}
+
+	// Merge header vocabularies (union by name; widths must agree).
+	seen := map[string]int{}
+	for _, f := range append(append([]Field{}, up.Fields...), dn.Fields...) {
+		if w, dup := seen[f.Name]; dup {
+			if w != f.Bits {
+				return nil, fmt.Errorf("ir: compose: field %q has conflicting widths %d/%d", f.Name, w, f.Bits)
+			}
+			continue
+		}
+		seen[f.Name] = f.Bits
+		out.Fields = append(out.Fields, f)
+	}
+	if len(out.Fields) == 0 {
+		out.Fields = append([]Field(nil), StdFields...)
+	}
+
+	upRW := &Rewriter{
+		Label: func(l string) string { return "up." + l },
+		State: func(s string) string { return "up_" + s },
+		Action: func(a *Action) Stmt {
+			if a.Kind != ActForward {
+				return a
+			}
+			// Capture the forwarding decision; the inter-switch link is
+			// resolved after the upstream stage.
+			port := a.Arg
+			if port == nil {
+				port = Const{V: 0}
+			}
+			return &Assign{Target: MetaLV{Name: "__link"}, Expr: Bin{Op: OpAdd, A: port, B: Const{V: 1}}}
+		},
+	}
+	dnRW := &Rewriter{
+		Label: func(l string) string { return "dn." + l },
+		State: func(s string) string { return "dn_" + s },
+	}
+
+	prefixDecls(out, up, "up_", upRW)
+	prefixDecls(out, dn, "dn_", dnRW)
+
+	upBody := CloneStmt(up.Root, upRW)
+	dnBody := CloneStmt(dn.Root, dnRW)
+
+	out.Root = Body(
+		upBody,
+		&If{
+			Cond: Cmp{Op: CmpEq, A: MetaRef{Name: "__link"}, B: Const{V: linkPort + 1}},
+			Then: Blk("wire", dnBody),
+			// Anything forwarded elsewhere leaves at the upstream switch;
+			// packets that never forwarded (punt-only paths) terminate.
+			Else: &If{
+				Cond: Cmp{Op: CmpNe, A: MetaRef{Name: "__link"}, B: Const{V: 0}},
+				Then: Blk("egress_upstream", &Action{Kind: ActForward, Arg: Bin{Op: OpSub, A: MetaRef{Name: "__link"}, B: Const{V: 1}}}),
+				Else: Blk("upstream_terminal", &Action{Kind: ActNoOp}),
+			},
+		},
+	)
+	// Rewrite table entry actions too (they live outside Root).
+	return out.Build()
+}
+
+// prefixDecls copies a program's state declarations into out with a prefix,
+// rewriting the statement trees referenced by its tables with the stage's
+// rewriter (so upstream table actions get their forwards captured too).
+func prefixDecls(out, src *Program, prefix string, rw *Rewriter) {
+	for _, r := range src.Regs {
+		out.Regs = append(out.Regs, RegDecl{Name: prefix + r.Name, Bits: r.Bits, Init: r.Init})
+	}
+	for _, a := range src.RegArrays {
+		out.RegArrays = append(out.RegArrays, RegArrayDecl{Name: prefix + a.Name, Size: a.Size, Bits: a.Bits})
+	}
+	for _, h := range src.HashTables {
+		out.HashTables = append(out.HashTables, HashTableDecl{Name: prefix + h.Name, Size: h.Size, Seed: h.Seed})
+	}
+	for _, b := range src.Blooms {
+		out.Blooms = append(out.Blooms, BloomDecl{Name: prefix + b.Name, Bits: b.Bits, Hashes: b.Hashes})
+	}
+	for _, s := range src.Sketches {
+		out.Sketches = append(out.Sketches, SketchDecl{Name: prefix + s.Name, Rows: s.Rows, Cols: s.Cols})
+	}
+	for _, t := range src.Tables {
+		nt := TableDecl{
+			Name:     prefix + t.Name,
+			Keys:     cloneExprs(t.Keys, rw),
+			Default:  CloneStmt(t.Default, rw),
+			Disjoint: t.Disjoint,
+		}
+		for _, e := range t.Entries {
+			nt.Entries = append(nt.Entries, Entry{
+				Match:  append([]MatchSpec(nil), e.Match...),
+				Action: CloneStmt(e.Action, rw),
+			})
+		}
+		out.Tables = append(out.Tables, nt)
+	}
+}

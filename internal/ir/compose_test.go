@@ -1,0 +1,113 @@
+package ir
+
+import "testing"
+
+// Two toy stages: an upstream filter that forwards good traffic to the
+// inter-switch link (port 1) and drops bad TTLs, and a downstream counter.
+func upStage() *Program {
+	return (&Program{
+		Name: "filter",
+		Regs: []RegDecl{{Name: "drops", Bits: 32}},
+		Root: Body(
+			If2(Le(F("ttl"), C(1)),
+				Blk("bad", Add1("drops"), Drop()),
+				If2(Eq(F("proto"), C(ProtoTCP)),
+					Blk("to_link", Fwd(1)),
+					Blk("local", Fwd(3)))),
+		),
+	}).MustBuild()
+}
+
+func dnStage() *Program {
+	return (&Program{
+		Name: "counter",
+		Regs: []RegDecl{{Name: "cnt", Bits: 32}},
+		Root: Body(
+			Blk("count", Add1("cnt"), Fwd(2)),
+		),
+	}).MustBuild()
+}
+
+func TestComposePipelineStructure(t *testing.T) {
+	prog, err := ComposePipeline("pipe", upStage(), dnStage(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// State is merged with prefixes.
+	if _, ok := prog.Reg("up_drops"); !ok {
+		t.Fatal("upstream register not prefixed/merged")
+	}
+	if _, ok := prog.Reg("dn_cnt"); !ok {
+		t.Fatal("downstream register not prefixed/merged")
+	}
+	// Blocks from both stages are present with stage prefixes.
+	if prog.NodeByLabel("up.bad") == nil {
+		t.Fatal("upstream block missing")
+	}
+	if prog.NodeByLabel("dn.count") == nil {
+		t.Fatal("downstream block missing")
+	}
+	if prog.NodeByLabel("wire") == nil {
+		t.Fatal("wire block missing")
+	}
+}
+
+func TestComposePipelineNameCollisions(t *testing.T) {
+	a := (&Program{
+		Name: "a",
+		Regs: []RegDecl{{Name: "cnt", Bits: 32}},
+		Root: Body(Add1("cnt"), Fwd(1)),
+	}).MustBuild()
+	b := (&Program{
+		Name: "b",
+		Regs: []RegDecl{{Name: "cnt", Bits: 32}},
+		Root: Body(Add1("cnt"), Fwd(2)),
+	}).MustBuild()
+	prog, err := ComposePipeline("pipe", a, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := prog.Reg("up_cnt"); !ok {
+		t.Fatal("up_cnt missing")
+	}
+	if _, ok := prog.Reg("dn_cnt"); !ok {
+		t.Fatal("dn_cnt missing")
+	}
+}
+
+func TestComposePipelineFieldConflict(t *testing.T) {
+	a := (&Program{
+		Name:   "a",
+		Fields: append(append([]Field{}, StdFields...), Field{Name: "x", Bits: 8}),
+		Root:   Body(Fwd(1)),
+	}).MustBuild()
+	b := (&Program{
+		Name:   "b",
+		Fields: append(append([]Field{}, StdFields...), Field{Name: "x", Bits: 16}),
+		Root:   Body(Fwd(1)),
+	}).MustBuild()
+	if _, err := ComposePipeline("pipe", a, b, 1); err == nil {
+		t.Fatal("conflicting field widths should error")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	orig := upStage()
+	clone := CloneStmt(orig.Root, nil).(*Block)
+	// Mutating the clone must not affect the original.
+	clone.Stmts = nil
+	if len(orig.Root.(*Block).Stmts) == 0 {
+		t.Fatal("clone aliases original statements")
+	}
+}
+
+func TestCloneRewritesState(t *testing.T) {
+	rw := &Rewriter{State: func(s string) string { return "p_" + s }}
+	c := CloneStmt(Add1("cnt"), rw).(*Assign)
+	if c.Target.(RegLV).Reg != "p_cnt" {
+		t.Fatalf("target not rewritten: %v", c.Target)
+	}
+	if c.Expr.(Bin).A.(RegRef).Reg != "p_cnt" {
+		t.Fatalf("expr not rewritten: %v", c.Expr)
+	}
+}

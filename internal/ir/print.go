@@ -1,0 +1,224 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a program as P4-like pseudocode — the inverse of the
+// mini-language front end in internal/p4c and the form DESIGN.md inventories
+// reference. Round-tripping through p4c.Parse(prog.Format()) reproduces an
+// equivalent program.
+func (p *Program) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %q {\n", p.Name)
+	for _, f := range p.Fields {
+		if isStdField(f.Name) {
+			continue
+		}
+		fmt.Fprintf(&b, "  field %s : %d;\n", f.Name, f.Bits)
+	}
+	for _, r := range p.Regs {
+		if r.Init != 0 {
+			fmt.Fprintf(&b, "  register %s : %d = %d;\n", r.Name, r.Bits, r.Init)
+		} else {
+			fmt.Fprintf(&b, "  register %s : %d;\n", r.Name, r.Bits)
+		}
+	}
+	for _, a := range p.RegArrays {
+		fmt.Fprintf(&b, "  register_array %s[%d] : %d;\n", a.Name, a.Size, a.Bits)
+	}
+	for _, h := range p.HashTables {
+		fmt.Fprintf(&b, "  hash_table %s[%d] seed %d;\n", h.Name, h.Size, h.Seed)
+	}
+	for _, bl := range p.Blooms {
+		fmt.Fprintf(&b, "  bloom %s[%d] hashes %d;\n", bl.Name, bl.Bits, bl.Hashes)
+	}
+	for _, s := range p.Sketches {
+		fmt.Fprintf(&b, "  sketch %s[%dx%d];\n", s.Name, s.Rows, s.Cols)
+	}
+	for _, t := range p.Tables {
+		formatTable(&b, p, &t, 1)
+	}
+	b.WriteString("  apply {\n")
+	formatStmt(&b, p.Root, 2, true)
+	b.WriteString("  }\n}\n")
+	return b.String()
+}
+
+func isStdField(name string) bool {
+	for _, f := range StdFields {
+		if f.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func indent(b *strings.Builder, level int) {
+	for i := 0; i < level; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func formatTable(b *strings.Builder, p *Program, t *TableDecl, level int) {
+	indent(b, level)
+	keys := make([]string, len(t.Keys))
+	for i, k := range t.Keys {
+		keys[i] = k.String()
+	}
+	attrs := ""
+	if t.Disjoint {
+		attrs = " disjoint"
+	}
+	fmt.Fprintf(b, "table %s(%s)%s {\n", t.Name, strings.Join(keys, ", "), attrs)
+	for _, e := range t.Entries {
+		indent(b, level+1)
+		specs := make([]string, len(e.Match))
+		for i, m := range e.Match {
+			switch m.Kind {
+			case MatchExact:
+				specs[i] = fmt.Sprintf("%d", m.Lo)
+			case MatchRange:
+				specs[i] = fmt.Sprintf("%d..%d", m.Lo, m.Hi)
+			case MatchWildcard:
+				specs[i] = "*"
+			}
+		}
+		fmt.Fprintf(b, "entry (%s) ->\n", strings.Join(specs, ", "))
+		formatStmt(b, e.Action, level+2, false)
+	}
+	if t.Default != nil {
+		indent(b, level+1)
+		b.WriteString("default ->\n")
+		formatStmt(b, t.Default, level+2, false)
+	}
+	indent(b, level)
+	b.WriteString("}\n")
+}
+
+// formatStmt writes a statement; bare unwraps the outermost block's braces
+// (used for the root body).
+func formatStmt(b *strings.Builder, s Stmt, level int, bare bool) {
+	switch t := s.(type) {
+	case *Block:
+		if bare {
+			for _, c := range t.Stmts {
+				formatStmt(b, c, level, false)
+			}
+			return
+		}
+		indent(b, level)
+		fmt.Fprintf(b, "block %q {\n", t.Label)
+		for _, c := range t.Stmts {
+			formatStmt(b, c, level+1, false)
+		}
+		indent(b, level)
+		b.WriteString("}\n")
+	case *If:
+		indent(b, level)
+		fmt.Fprintf(b, "if (%s)\n", t.Cond.String())
+		formatStmt(b, t.Then, level+1, false)
+		if t.Else != nil {
+			indent(b, level)
+			b.WriteString("else\n")
+			formatStmt(b, t.Else, level+1, false)
+		}
+	case *Assign:
+		indent(b, level)
+		fmt.Fprintf(b, "%s = %s;\n", t.Target.String(), t.Expr.String())
+	case *Action:
+		indent(b, level)
+		if t.Arg != nil {
+			fmt.Fprintf(b, "%s(%s);\n", t.Kind, t.Arg.String())
+		} else {
+			fmt.Fprintf(b, "%s();\n", t.Kind)
+		}
+	case *HashAccess:
+		indent(b, level)
+		attrs := ""
+		if t.Write {
+			attrs += " write " + exprOrZero(t.Value)
+		}
+		if t.Inc {
+			attrs += " inc"
+		}
+		if t.Evict {
+			attrs += " evict"
+		}
+		if t.Dest != "" {
+			attrs += " into meta." + t.Dest
+		}
+		fmt.Fprintf(b, "access %s(%s)%s {\n", t.Store, exprList(t.Key), attrs)
+		formatArm(b, "empty", t.OnEmpty, level+1)
+		formatArm(b, "hit", t.OnHit, level+1)
+		formatArm(b, "collide", t.OnCollide, level+1)
+		indent(b, level)
+		b.WriteString("}\n")
+	case *BloomOp:
+		indent(b, level)
+		attrs := ""
+		if t.Insert {
+			attrs = " insert"
+		}
+		fmt.Fprintf(b, "bloom_test %s(%s)%s {\n", t.Filter, exprList(t.Key), attrs)
+		formatArm(b, "hit", t.OnHit, level+1)
+		formatArm(b, "miss", t.OnMiss, level+1)
+		indent(b, level)
+		b.WriteString("}\n")
+	case *SketchUpdate:
+		indent(b, level)
+		attrs := ""
+		if t.Dest != "" {
+			attrs = " into meta." + t.Dest
+		}
+		fmt.Fprintf(b, "sketch_update %s(%s) by %s%s;\n", t.Sketch, exprList(t.Key), exprOrOne(t.Inc), attrs)
+	case *SketchBranch:
+		indent(b, level)
+		fmt.Fprintf(b, "sketch_if %s(%s) %s %d {\n", t.Sketch, exprList(t.Key), t.Op, t.Threshold)
+		formatArm(b, "true", t.OnTrue, level+1)
+		formatArm(b, "false", t.OnFalse, level+1)
+		indent(b, level)
+		b.WriteString("}\n")
+	case *ArrayRead:
+		indent(b, level)
+		fmt.Fprintf(b, "meta.%s = %s[%s];\n", t.Dest, t.Array, t.Index.String())
+	case *ArrayWrite:
+		indent(b, level)
+		fmt.Fprintf(b, "%s[%s] = %s;\n", t.Array, t.Index.String(), t.Value.String())
+	case *TableApply:
+		indent(b, level)
+		fmt.Fprintf(b, "apply_table %s;\n", t.Table)
+	}
+}
+
+func formatArm(b *strings.Builder, name string, s Stmt, level int) {
+	if s == nil {
+		return
+	}
+	indent(b, level)
+	fmt.Fprintf(b, "on %s ->\n", name)
+	formatStmt(b, s, level+1, false)
+}
+
+func exprList(es []Expr) string {
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.String()
+	}
+	return strings.Join(out, ", ")
+}
+
+func exprOrZero(e Expr) string {
+	if e == nil {
+		return "0"
+	}
+	return e.String()
+}
+
+func exprOrOne(e Expr) string {
+	if e == nil {
+		return "1"
+	}
+	return e.String()
+}

@@ -1,0 +1,446 @@
+// Package mc implements weighted model counting over the normalized
+// constraint systems produced by internal/solver. It fills the role LattE
+// plays in the paper's prototype: given a path condition, it computes the
+// probability mass of the satisfying header-space polytope under a traffic
+// profile (or the uniform distribution when no profile is supplied).
+//
+// Constraint systems decompose into independent components. Single-class
+// components and two-class components (connected by difference and
+// disequality constraints) are counted exactly in closed form; larger or
+// generic-residue components fall back to a deterministic Monte-Carlo
+// estimator, mirroring how approximate #SMT solvers handle theories exact
+// counters cannot.
+package mc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dist"
+	"repro/internal/prob"
+	"repro/internal/solver"
+)
+
+// Stats instruments the counter for the Figure 7 experiments.
+type Stats struct {
+	Queries      int // total ProbOf calls
+	CacheHits    int
+	ExactClasses int // components counted in closed form
+	ExactPairs   int
+	MCFallbacks  int // components estimated by Monte Carlo
+}
+
+// Counter computes path-condition probabilities.
+type Counter struct {
+	Space  *solver.Space
+	Oracle dist.Oracle
+
+	// MCSamples bounds Monte-Carlo fallback sample counts (default 20000).
+	MCSamples int
+	// Seed makes the Monte-Carlo fallback deterministic.
+	Seed int64
+	// DisableCache turns off memoization (for the cache ablation).
+	DisableCache bool
+	// ForceMC forces the Monte-Carlo path even for exactly countable
+	// components (for the exact-vs-MC ablation).
+	ForceMC bool
+
+	cache map[string]prob.P
+	stats Stats
+}
+
+// NewCounter builds a counter over the given variable space and oracle.
+// A nil oracle means uniform header space.
+func NewCounter(space *solver.Space, oracle dist.Oracle) *Counter {
+	if oracle == nil {
+		oracle = &dist.UniformOracle{}
+	}
+	return &Counter{
+		Space:     space,
+		Oracle:    oracle,
+		MCSamples: 20000,
+		cache:     map[string]prob.P{},
+	}
+}
+
+// Stats returns a copy of the counter's instrumentation counters.
+func (c *Counter) Stats() Stats { return c.stats }
+
+// ProbOf returns the probability that a random packet sequence (fields
+// drawn independently per the oracle's marginals) satisfies the
+// conjunction.
+func (c *Counter) ProbOf(cs []solver.Constraint) prob.P {
+	c.stats.Queries++
+	key := cacheKey(cs)
+	if !c.DisableCache {
+		if p, ok := c.cache[key]; ok {
+			c.stats.CacheHits++
+			return p
+		}
+	}
+	sys := solver.Build(cs, c.Space)
+	p := c.ProbOfSystem(sys)
+	if !c.DisableCache {
+		c.cache[key] = p
+	}
+	return p
+}
+
+// ProbOfSystem counts an already-normalized system.
+func (c *Counter) ProbOfSystem(sys *solver.System) prob.P {
+	if !sys.Feasible {
+		return prob.Zero()
+	}
+	comps := components(sys)
+	result := prob.One()
+	for _, comp := range comps {
+		var p prob.P
+		switch {
+		case c.ForceMC:
+			c.stats.MCFallbacks++
+			p = c.monteCarlo(sys, comp)
+		case len(comp.roots) == 1 && len(comp.generic) == 0 && len(comp.diffs) == 0 && len(comp.neqs) == 0:
+			c.stats.ExactClasses++
+			p = prob.FromFloat(c.classMass(sys, comp.roots[0]))
+		case len(comp.roots) == 2 && len(comp.generic) == 0:
+			c.stats.ExactPairs++
+			p = c.pairProb(sys, comp)
+		default:
+			c.stats.MCFallbacks++
+			p = c.monteCarlo(sys, comp)
+		}
+		result = result.Mul(p)
+	}
+	return result
+}
+
+func cacheKey(cs []solver.Constraint) string {
+	ss := make([]string, len(cs))
+	for i, c := range cs {
+		ss[i] = c.String()
+	}
+	sort.Strings(ss)
+	return strings.Join(ss, "&")
+}
+
+// component groups roots linked by diffs, neqs, or generic constraints.
+type component struct {
+	roots   []solver.Var
+	diffs   []solver.Diff
+	neqs    []solver.Neq
+	generic []solver.Constraint
+}
+
+func components(sys *solver.System) []component {
+	idx := map[solver.Var]int{}
+	for i, r := range sys.Roots {
+		idx[r] = i
+	}
+	parent := make([]int, len(sys.Roots))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	for _, d := range sys.Diffs {
+		union(idx[d.A], idx[d.B])
+	}
+	for _, n := range sys.Neqs {
+		union(idx[n.A], idx[n.B])
+	}
+	for _, g := range sys.Generic {
+		vs := g.E.Vars()
+		for i := 1; i < len(vs); i++ {
+			union(idx[vs[0]], idx[vs[i]])
+		}
+	}
+
+	byRoot := map[int]*component{}
+	order := []int{}
+	for i, r := range sys.Roots {
+		k := find(i)
+		cp, ok := byRoot[k]
+		if !ok {
+			cp = &component{}
+			byRoot[k] = cp
+			order = append(order, k)
+		}
+		cp.roots = append(cp.roots, r)
+	}
+	for _, d := range sys.Diffs {
+		byRoot[find(idx[d.A])].diffs = append(byRoot[find(idx[d.A])].diffs, d)
+	}
+	for _, n := range sys.Neqs {
+		byRoot[find(idx[n.A])].neqs = append(byRoot[find(idx[n.A])].neqs, n)
+	}
+	for _, g := range sys.Generic {
+		vs := g.E.Vars()
+		if len(vs) > 0 {
+			byRoot[find(idx[vs[0]])].generic = append(byRoot[find(idx[vs[0]])].generic, g)
+		}
+	}
+	out := make([]component, 0, len(order))
+	for _, k := range order {
+		out = append(out, *byRoot[k])
+	}
+	return out
+}
+
+// distFor returns the marginal distribution of a variable: havoc variables
+// are uniform over their registered domain, derived masked fields
+// ("tcp_flags&18") get the exact image distribution of their base field,
+// and header fields come from the oracle (uniform over the field width when
+// the oracle has no answer).
+func (c *Counter) distFor(v solver.Var) dist.Dist {
+	if strings.HasPrefix(v.Field, "__") {
+		dom := c.Space.Domain(v)
+		return dist.UniformRange(dom.Lo, dom.Hi)
+	}
+	if i := strings.LastIndex(v.Field, "&"); i > 0 {
+		return c.maskedDist(v, v.Field[:i], v.Field[i+1:])
+	}
+	if d, ok := c.Oracle.FieldDist(v.Field); ok {
+		return d
+	}
+	dom := c.Space.Domain(v)
+	return dist.UniformRange(dom.Lo, dom.Hi)
+}
+
+// maskedDist computes the distribution of (base & mask).
+func (c *Counter) maskedDist(v solver.Var, base, maskStr string) dist.Dist {
+	var mask uint64
+	fmt.Sscanf(maskStr, "%d", &mask)
+	baseBits, ok := c.Space.FieldBits[base]
+	if !ok {
+		baseBits = 32
+	}
+	baseDist, known := c.Oracle.FieldDist(base)
+	if !known {
+		baseDist = dist.Uniform(baseBits)
+	}
+	// Exact image by enumeration for small base domains.
+	if baseBits <= 16 {
+		masses := map[uint64]float64{}
+		max := (uint64(1) << uint(baseBits)) - 1
+		for x := uint64(0); ; x++ {
+			if p := baseDist.P(x); p > 0 {
+				masses[x&mask] += p
+			}
+			if x == max {
+				break
+			}
+		}
+		pieces := make([]dist.Piece, 0, len(masses))
+		for val, m := range masses {
+			pieces = append(pieces, dist.Piece{Lo: val, Hi: val, Mass: m})
+		}
+		if d, err := dist.FromPieces(pieces); err == nil {
+			return d
+		}
+	}
+	// Wide base: assume masked bits are uniform, so every submask of mask
+	// is equally likely.
+	pc := popcount(mask)
+	if pc <= 12 {
+		p := 1 / float64(uint64(1)<<uint(pc))
+		var pieces []dist.Piece
+		for sub := mask; ; sub = (sub - 1) & mask {
+			pieces = append(pieces, dist.Piece{Lo: sub, Hi: sub, Mass: p})
+			if sub == 0 {
+				break
+			}
+		}
+		if d, err := dist.FromPieces(pieces); err == nil {
+			return d
+		}
+	}
+	return dist.UniformRange(0, mask)
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// sameFieldClass reports whether all members of a class read the same
+// header field of distinct packets with identical offsets — the
+// cross-packet-equality pattern where a pair-equality oracle query applies.
+func sameFieldClass(members []solver.Member) (string, int64, bool) {
+	if len(members) < 2 {
+		return "", 0, false
+	}
+	field := members[0].Var.Field
+	off := members[0].Off
+	pkts := map[int]bool{}
+	for _, m := range members {
+		if m.Var.Field != field || m.Off != off {
+			return "", 0, false
+		}
+		if pkts[m.Var.Pkt] {
+			return "", 0, false
+		}
+		pkts[m.Var.Pkt] = true
+	}
+	return field, off, true
+}
+
+// classMass computes the probability mass of one equality class within its
+// propagated interval, excluding punched holes.
+func (c *Counter) classMass(sys *solver.System, root solver.Var) float64 {
+	members := sys.Members[root]
+	iv := sys.RootIv[root]
+	if iv.Empty() {
+		return 0
+	}
+
+	// Cross-packet equality: ask the oracle for the pair-equality
+	// probability (e.g. the retransmission ratio for seq numbers).
+	if field, off, ok := sameFieldClass(members); ok {
+		if pe, known := c.Oracle.PairEqualProb(field); known {
+			d := c.distFor(members[0].Var)
+			shifted := iv.Shift(off) // value-space interval
+			mass := d.MassIn(shifted.Lo, shifted.Hi)
+			p := mass
+			for i := 1; i < len(members); i++ {
+				p *= pe
+			}
+			// Holes are in root space; translate and discount.
+			for _, h := range sys.Holes[root] {
+				vh := uint64(int64(h) + off)
+				p -= d.P(vh) * powf(pe, len(members)-1)
+			}
+			if p < 0 {
+				p = 0
+			}
+			return p
+		}
+	}
+
+	segs := c.classSegments(sys, root)
+	mass := 0.0
+	for _, s := range segs {
+		mass += s.dens * (float64(s.hi-s.lo) + 1)
+	}
+	for _, h := range sys.Holes[root] {
+		mass -= segDensityAt(segs, h)
+	}
+	if mass < 0 {
+		mass = 0
+	}
+	return mass
+}
+
+func powf(p float64, n int) float64 {
+	out := 1.0
+	for i := 0; i < n; i++ {
+		out *= p
+	}
+	return out
+}
+
+// wseg is a segment of the class weight function: for root values in
+// [lo,hi], the probability that every member takes its implied value is
+// dens per root value.
+type wseg struct {
+	lo, hi uint64
+	dens   float64
+}
+
+func segDensityAt(segs []wseg, v uint64) float64 {
+	for _, s := range segs {
+		if v >= s.lo && v <= s.hi {
+			return s.dens
+		}
+	}
+	return 0
+}
+
+// classSegments computes the piecewise-constant weight function of an
+// equality class over root space: w(x) = ∏_i P_i(x + off_i), restricted to
+// the propagated interval.
+func (c *Counter) classSegments(sys *solver.System, root solver.Var) []wseg {
+	members := sys.Members[root]
+	iv := sys.RootIv[root]
+	if iv.Empty() {
+		return nil
+	}
+	// Shift every member's distribution into root coordinates and collect
+	// breakpoints.
+	type shifted struct {
+		pieces []dist.Piece
+	}
+	sh := make([]shifted, len(members))
+	cutSet := map[uint64]bool{iv.Lo: true}
+	addCut := func(v uint64) {
+		if v >= iv.Lo && v <= iv.Hi {
+			cutSet[v] = true
+		}
+	}
+	for i, m := range members {
+		d := c.distFor(m.Var)
+		for _, p := range d.Pieces {
+			lo := solver.Interval{Lo: p.Lo, Hi: p.Hi}.Shift(-m.Off)
+			if lo.Empty() {
+				continue
+			}
+			sh[i].pieces = append(sh[i].pieces, dist.Piece{Lo: lo.Lo, Hi: lo.Hi, Mass: p.Mass})
+			addCut(lo.Lo)
+			if lo.Hi < ^uint64(0) {
+				addCut(lo.Hi + 1)
+			}
+		}
+	}
+	cuts := make([]uint64, 0, len(cutSet))
+	for v := range cutSet {
+		cuts = append(cuts, v)
+	}
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i] < cuts[j] })
+
+	densAt := func(pieces []dist.Piece, v uint64) float64 {
+		for _, p := range pieces {
+			if v >= p.Lo && v <= p.Hi {
+				return p.Mass / (float64(p.Hi-p.Lo) + 1)
+			}
+		}
+		return 0
+	}
+
+	var segs []wseg
+	for i, lo := range cuts {
+		var hi uint64
+		if i+1 < len(cuts) {
+			hi = cuts[i+1] - 1
+		} else {
+			hi = iv.Hi
+		}
+		if hi > iv.Hi {
+			hi = iv.Hi
+		}
+		if lo > hi {
+			continue
+		}
+		dens := 1.0
+		for _, s := range sh {
+			dens *= densAt(s.pieces, lo)
+			if dens == 0 {
+				break
+			}
+		}
+		if dens > 0 {
+			segs = append(segs, wseg{lo: lo, hi: hi, dens: dens})
+		}
+	}
+	return segs
+}

@@ -1,0 +1,358 @@
+package mc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/ir"
+	"repro/internal/solver"
+)
+
+func sp() *solver.Space {
+	return solver.NewSpace([]ir.Field{
+		{Name: "a", Bits: 8}, {Name: "b", Bits: 8}, {Name: "c", Bits: 8},
+		{Name: "w", Bits: 16},
+	})
+}
+
+func v(pkt int, f string) solver.Var { return solver.Var{Pkt: pkt, Field: f} }
+
+func con(op ir.CmpOp, a, b solver.LinExpr) solver.Constraint { return solver.NewCmp(op, a, b) }
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestUniformInterval(t *testing.T) {
+	c := NewCounter(sp(), nil)
+	// a <= 63 over an 8-bit field: 64/256 = 0.25.
+	p := c.ProbOf([]solver.Constraint{
+		con(ir.CmpLe, solver.VarExpr(v(0, "a")), solver.ConstExpr(63)),
+	})
+	if !almostEq(p.Float(), 0.25, 1e-9) {
+		t.Fatalf("P = %v, want 0.25", p.Float())
+	}
+}
+
+func TestEmptyConjunction(t *testing.T) {
+	c := NewCounter(sp(), nil)
+	if got := c.ProbOf(nil).Float(); got != 1 {
+		t.Fatalf("empty pc should have probability 1, got %v", got)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	c := NewCounter(sp(), nil)
+	p := c.ProbOf([]solver.Constraint{
+		con(ir.CmpGt, solver.VarExpr(v(0, "a")), solver.ConstExpr(100)),
+		con(ir.CmpLt, solver.VarExpr(v(0, "a")), solver.ConstExpr(50)),
+	})
+	if !p.IsZero() {
+		t.Fatalf("infeasible pc should be zero, got %v", p)
+	}
+}
+
+func TestConjunctionIndependentFields(t *testing.T) {
+	c := NewCounter(sp(), nil)
+	// P(a == 5) * P(b <= 127) = (1/256)*(1/2).
+	p := c.ProbOf([]solver.Constraint{
+		con(ir.CmpEq, solver.VarExpr(v(0, "a")), solver.ConstExpr(5)),
+		con(ir.CmpLe, solver.VarExpr(v(0, "b")), solver.ConstExpr(127)),
+	})
+	want := (1.0 / 256) * 0.5
+	if !almostEq(p.Float(), want, 1e-12) {
+		t.Fatalf("P = %v, want %v", p.Float(), want)
+	}
+}
+
+func TestCrossPacketEqualityUniform(t *testing.T) {
+	c := NewCounter(sp(), nil)
+	// P(p0.a == p1.a) under independence/uniform = 1/256.
+	p := c.ProbOf([]solver.Constraint{
+		con(ir.CmpEq, solver.VarExpr(v(0, "a")), solver.VarExpr(v(1, "a"))),
+	})
+	if !almostEq(p.Float(), 1.0/256, 1e-12) {
+		t.Fatalf("P = %v, want 1/256", p.Float())
+	}
+	// Three-way equality: 1/256^2.
+	p3 := c.ProbOf([]solver.Constraint{
+		con(ir.CmpEq, solver.VarExpr(v(0, "a")), solver.VarExpr(v(1, "a"))),
+		con(ir.CmpEq, solver.VarExpr(v(1, "a")), solver.VarExpr(v(2, "a"))),
+	})
+	if !almostEq(p3.Float(), 1.0/(256*256), 1e-14) {
+		t.Fatalf("P3 = %v, want 1/65536", p3.Float())
+	}
+}
+
+func TestCrossPacketEqualityOracle(t *testing.T) {
+	// A trace oracle reporting a 1% retransmission (pair-equality) ratio.
+	profile := dist.NewProfile().SetPairEq("a", 0.01)
+	c := NewCounter(sp(), profile)
+	p := c.ProbOf([]solver.Constraint{
+		con(ir.CmpEq, solver.VarExpr(v(0, "a")), solver.VarExpr(v(1, "a"))),
+	})
+	if !almostEq(p.Float(), 0.01, 1e-9) {
+		t.Fatalf("P = %v, want 0.01", p.Float())
+	}
+}
+
+func TestSkewedMarginal(t *testing.T) {
+	profile := dist.NewProfile().SetField("a", dist.MustFromPieces([]dist.Piece{
+		{Lo: 6, Hi: 6, Mass: 0.9}, {Lo: 17, Hi: 17, Mass: 0.1},
+	}))
+	c := NewCounter(sp(), profile)
+	pTCP := c.ProbOf([]solver.Constraint{
+		con(ir.CmpEq, solver.VarExpr(v(0, "a")), solver.ConstExpr(6)),
+	})
+	if !almostEq(pTCP.Float(), 0.9, 1e-12) {
+		t.Fatalf("P(tcp) = %v", pTCP.Float())
+	}
+	pOther := c.ProbOf([]solver.Constraint{
+		con(ir.CmpEq, solver.VarExpr(v(0, "a")), solver.ConstExpr(7)),
+	})
+	if !pOther.IsZero() {
+		t.Fatalf("P(proto 7) should be 0 under the profile, got %v", pOther)
+	}
+}
+
+func TestDisequality(t *testing.T) {
+	c := NewCounter(sp(), nil)
+	// P(a != 5) = 255/256.
+	p := c.ProbOf([]solver.Constraint{
+		con(ir.CmpNe, solver.VarExpr(v(0, "a")), solver.ConstExpr(5)),
+	})
+	if !almostEq(p.Float(), 255.0/256, 1e-12) {
+		t.Fatalf("P = %v", p.Float())
+	}
+	// P(a != b) = 1 - 1/256.
+	p2 := c.ProbOf([]solver.Constraint{
+		con(ir.CmpNe, solver.VarExpr(v(0, "a")), solver.VarExpr(v(0, "b"))),
+	})
+	if !almostEq(p2.Float(), 255.0/256, 1e-9) {
+		t.Fatalf("P(a!=b) = %v", p2.Float())
+	}
+}
+
+func TestVarVarInequality(t *testing.T) {
+	c := NewCounter(sp(), nil)
+	// P(a < b) over two uniform 8-bit fields = C(256,2)/256^2.
+	p := c.ProbOf([]solver.Constraint{
+		con(ir.CmpLt, solver.VarExpr(v(0, "a")), solver.VarExpr(v(0, "b"))),
+	})
+	want := (256.0 * 255 / 2) / (256.0 * 256)
+	if !almostEq(p.Float(), want, 1e-9) {
+		t.Fatalf("P(a<b) = %v, want %v", p.Float(), want)
+	}
+	// P(a <= b) = (C(256,2)+256)/256^2.
+	p2 := c.ProbOf([]solver.Constraint{
+		con(ir.CmpLe, solver.VarExpr(v(0, "a")), solver.VarExpr(v(0, "b"))),
+	})
+	want2 := (256.0*255/2 + 256) / (256.0 * 256)
+	if !almostEq(p2.Float(), want2, 1e-9) {
+		t.Fatalf("P(a<=b) = %v, want %v", p2.Float(), want2)
+	}
+}
+
+func TestBandConstraint(t *testing.T) {
+	c := NewCounter(sp(), nil)
+	// |a - b| <= 1: 256 + 2*255 pairs.
+	p := c.ProbOf([]solver.Constraint{
+		con(ir.CmpLe, solver.VarExpr(v(0, "a")), solver.VarExpr(v(0, "b")).Add(solver.ConstExpr(1))),
+		con(ir.CmpGe, solver.VarExpr(v(0, "a")), solver.VarExpr(v(0, "b")).Sub(solver.ConstExpr(1))),
+	})
+	want := (256.0 + 2*255) / (256.0 * 256)
+	if !almostEq(p.Float(), want, 1e-9) {
+		t.Fatalf("P(|a-b|<=1) = %v, want %v", p.Float(), want)
+	}
+}
+
+func TestPairWithNeqCorrection(t *testing.T) {
+	c := NewCounter(sp(), nil)
+	// a <= b and a != b: (C(256,2)) pairs.
+	p := c.ProbOf([]solver.Constraint{
+		con(ir.CmpLe, solver.VarExpr(v(0, "a")), solver.VarExpr(v(0, "b"))),
+		con(ir.CmpNe, solver.VarExpr(v(0, "a")), solver.VarExpr(v(0, "b"))),
+	})
+	want := (256.0 * 255 / 2) / (256.0 * 256)
+	if !almostEq(p.Float(), want, 1e-9) {
+		t.Fatalf("P = %v, want %v", p.Float(), want)
+	}
+}
+
+func TestMonteCarloFallback(t *testing.T) {
+	c := NewCounter(sp(), nil)
+	c.Seed = 7
+	// a + b <= 255 is generic: exact answer is (257*256/2)/256^2 ≈ 0.502.
+	p := c.ProbOf([]solver.Constraint{
+		solver.NewCmp(ir.CmpLe,
+			solver.VarExpr(v(0, "a")).Add(solver.VarExpr(v(0, "b"))),
+			solver.ConstExpr(255)),
+	})
+	want := (257.0 * 256 / 2) / (256.0 * 256)
+	if math.Abs(p.Float()-want) > 0.02 {
+		t.Fatalf("MC estimate %v too far from %v", p.Float(), want)
+	}
+	if c.Stats().MCFallbacks == 0 {
+		t.Fatal("expected an MC fallback")
+	}
+}
+
+func TestMonteCarloDeterminism(t *testing.T) {
+	mk := func() float64 {
+		c := NewCounter(sp(), nil)
+		c.Seed = 42
+		c.DisableCache = true
+		p := c.ProbOf([]solver.Constraint{
+			solver.NewCmp(ir.CmpLe,
+				solver.VarExpr(v(0, "a")).Add(solver.VarExpr(v(0, "b"))),
+				solver.ConstExpr(100)),
+		})
+		return p.Float()
+	}
+	if mk() != mk() {
+		t.Fatal("MC fallback should be deterministic for a fixed seed")
+	}
+}
+
+func TestCache(t *testing.T) {
+	c := NewCounter(sp(), nil)
+	cs := []solver.Constraint{
+		con(ir.CmpLe, solver.VarExpr(v(0, "a")), solver.ConstExpr(10)),
+	}
+	p1 := c.ProbOf(cs)
+	p2 := c.ProbOf(cs)
+	if p1.Cmp(p2) != 0 {
+		t.Fatal("cached result differs")
+	}
+	if c.Stats().CacheHits != 1 {
+		t.Fatalf("cache hits = %d, want 1", c.Stats().CacheHits)
+	}
+}
+
+func TestCountPairsGeometry(t *testing.T) {
+	// Brute-force cross-check on small rectangles.
+	brute := func(a0, a1, b0, b1 uint64, dlo, dhi int64) float64 {
+		n := 0
+		for x := a0; x <= a1; x++ {
+			for y := b0; y <= b1; y++ {
+				d := int64(x) - int64(y)
+				if d >= dlo && d <= dhi {
+					n++
+				}
+			}
+		}
+		return float64(n)
+	}
+	cases := []struct {
+		a0, a1, b0, b1 uint64
+		dlo, dhi       int64
+	}{
+		{0, 9, 0, 9, -3, 3},
+		{0, 9, 5, 14, 0, 0},
+		{3, 20, 0, 7, -100, 2},
+		{0, 15, 0, 15, 1, 100},
+		{0, 5, 10, 12, -2, 2},
+		{7, 7, 7, 7, 0, 0},
+		{0, 30, 10, 20, -5, -5},
+	}
+	for _, tc := range cases {
+		got := countPairs(tc.a0, tc.a1, tc.b0, tc.b1, tc.dlo, tc.dhi)
+		want := brute(tc.a0, tc.a1, tc.b0, tc.b1, tc.dlo, tc.dhi)
+		if got != want {
+			t.Errorf("countPairs(%v)=%v want %v", tc, got, want)
+		}
+	}
+}
+
+func TestCountPairsRandomized(t *testing.T) {
+	brute := func(a0, a1, b0, b1 uint64, dlo, dhi int64) float64 {
+		n := 0
+		for x := a0; x <= a1; x++ {
+			for y := b0; y <= b1; y++ {
+				d := int64(x) - int64(y)
+				if d >= dlo && d <= dhi {
+					n++
+				}
+			}
+		}
+		return float64(n)
+	}
+	seed := int64(12345)
+	rnd := func() uint64 { seed = seed*6364136223846793005 + 1442695040888963407; return uint64(seed>>33) % 40 }
+	for i := 0; i < 500; i++ {
+		a0 := rnd()
+		a1 := a0 + rnd()
+		b0 := rnd()
+		b1 := b0 + rnd()
+		dlo := int64(rnd()) - 20
+		dhi := dlo + int64(rnd())
+		got := countPairs(a0, a1, b0, b1, dlo, dhi)
+		want := brute(a0, a1, b0, b1, dlo, dhi)
+		if got != want {
+			t.Fatalf("case %d: countPairs(%d,%d,%d,%d,%d,%d)=%v want %v", i, a0, a1, b0, b1, dlo, dhi, got, want)
+		}
+	}
+}
+
+func TestHolePunching(t *testing.T) {
+	segs := []wseg{{lo: 0, hi: 9, dens: 0.1}}
+	out := punchHoles(segs, []uint64{3, 7})
+	total := 0.0
+	for _, s := range out {
+		total += s.dens * (float64(s.hi-s.lo) + 1)
+	}
+	if !almostEq(total, 0.8, 1e-12) {
+		t.Fatalf("after punching two holes mass = %v, want 0.8", total)
+	}
+}
+
+func TestForceMCAgreesWithExact(t *testing.T) {
+	cs := []solver.Constraint{
+		con(ir.CmpLt, solver.VarExpr(v(0, "a")), solver.VarExpr(v(0, "b"))),
+	}
+	exact := NewCounter(sp(), nil)
+	pe := exact.ProbOf(cs).Float()
+	mcc := NewCounter(sp(), nil)
+	mcc.ForceMC = true
+	mcc.Seed = 3
+	pm := mcc.ProbOf(cs).Float()
+	if math.Abs(pe-pm) > 0.02 {
+		t.Fatalf("exact %v vs MC %v diverge", pe, pm)
+	}
+}
+
+func TestMaskedDistExact(t *testing.T) {
+	// Skewed tcp_flags: 60% pure SYN (0x02), 40% pure ACK (0x10).
+	profile := dist.NewProfile().SetField("tcp_flags", dist.MustFromPieces([]dist.Piece{
+		{Lo: 0x02, Hi: 0x02, Mass: 0.6}, {Lo: 0x10, Hi: 0x10, Mass: 0.4},
+	}))
+	c := NewCounter(solver.NewSpace([]ir.Field{{Name: "tcp_flags", Bits: 8}}), profile)
+	// P((flags & 0x02) == 0x02) must be exactly the SYN share.
+	p := c.ProbOf([]solver.Constraint{
+		con(ir.CmpEq, solver.VarExpr(v(0, "tcp_flags&2")), solver.ConstExpr(2)),
+	})
+	if !almostEq(p.Float(), 0.6, 1e-9) {
+		t.Fatalf("P(masked SYN) = %v, want 0.6", p.Float())
+	}
+}
+
+func TestMaskedDistUniformBase(t *testing.T) {
+	c := NewCounter(solver.NewSpace([]ir.Field{{Name: "tcp_flags", Bits: 8}}), nil)
+	// Uniform 8-bit flags: each bit set with probability 1/2.
+	p := c.ProbOf([]solver.Constraint{
+		con(ir.CmpEq, solver.VarExpr(v(0, "tcp_flags&18")), solver.ConstExpr(18)),
+	})
+	if !almostEq(p.Float(), 0.25, 1e-9) {
+		t.Fatalf("P(two masked bits) = %v, want 0.25", p.Float())
+	}
+}
+
+func TestMaskedDistWideBaseSubmasks(t *testing.T) {
+	// 32-bit base falls back to the submask-uniform model.
+	c := NewCounter(solver.NewSpace([]ir.Field{{Name: "dst_ip", Bits: 32}}), nil)
+	p := c.ProbOf([]solver.Constraint{
+		con(ir.CmpEq, solver.VarExpr(v(0, "dst_ip&3")), solver.ConstExpr(0)),
+	})
+	if !almostEq(p.Float(), 0.25, 1e-9) {
+		t.Fatalf("P(two wide bits clear) = %v, want 0.25", p.Float())
+	}
+}

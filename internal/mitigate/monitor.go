@@ -1,0 +1,160 @@
+// Package mitigate implements the countermeasure sketched in the paper's
+// §6 discussion: attach counters to code blocks, compare the runtime block
+// frequency distribution against the expected probabilistic profile, and
+// raise alarms when edge cases occur excessively often — the signature of
+// an adversarial workload. Operators can wire alarms to rate limiting.
+package mitigate
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dut"
+)
+
+// Options tunes the monitor.
+type Options struct {
+	// Window is the number of packets per evaluation window (default 1000).
+	Window int
+	// RareCutoff classifies a block as an edge case when its expected
+	// per-packet probability is below this (default 0.01).
+	RareCutoff float64
+	// Ratio is the observed/expected factor that raises an alarm for a
+	// rare block (default 10).
+	Ratio float64
+	// MinRate is the minimum observed frequency for an alarm, preventing
+	// single stray packets from alarming (default 0.02).
+	MinRate float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Window == 0 {
+		o.Window = 1000
+	}
+	if o.RareCutoff == 0 {
+		o.RareCutoff = 0.01
+	}
+	if o.Ratio == 0 {
+		o.Ratio = 10
+	}
+	if o.MinRate == 0 {
+		o.MinRate = 0.02
+	}
+	return o
+}
+
+// Alarm reports one anomalous window for one edge-case block.
+type Alarm struct {
+	Node     int
+	Label    string
+	Expected float64 // profile probability per packet
+	Observed float64 // measured frequency in the window
+	Window   int     // window index (0-based)
+}
+
+func (a Alarm) String() string {
+	return fmt.Sprintf("window %d: block %q expected %.2e, observed %.3f",
+		a.Window, a.Label, a.Expected, a.Observed)
+}
+
+// Monitor watches a switch's block counters against an expected profile.
+type Monitor struct {
+	opt      Options
+	expected map[int]float64
+	labels   map[int]string
+	rare     map[int]bool
+	entryID  int
+
+	counts  map[int]int
+	packets int
+	window  int
+	alarms  []Alarm
+}
+
+// New builds a monitor from a probabilistic profile.
+func New(prof *core.Profile, opt Options) *Monitor {
+	m := &Monitor{
+		opt:      opt.withDefaults(),
+		expected: map[int]float64{},
+		labels:   map[int]string{},
+		rare:     map[int]bool{},
+		counts:   map[int]int{},
+		entryID:  -1,
+	}
+	for _, n := range prof.Nodes {
+		m.expected[n.ID] = n.P.Float()
+		m.labels[n.ID] = n.Label
+		if n.P.Float() < m.opt.RareCutoff {
+			m.rare[n.ID] = true
+		}
+		if n.Label == "entry" {
+			m.entryID = n.ID
+		}
+	}
+	return m
+}
+
+// Attach installs the monitor as the switch's visit hook. The entry block
+// marks packet boundaries; every window the rare-block frequencies are
+// evaluated.
+func (m *Monitor) Attach(sw *dut.Switch) {
+	prev := sw.VisitHook
+	sw.VisitHook = func(id int) {
+		if prev != nil {
+			prev(id)
+		}
+		m.Observe(id)
+	}
+}
+
+// Observe records one block visit (exported for custom integration).
+func (m *Monitor) Observe(id int) {
+	if id == m.entryID {
+		m.packets++
+		if m.packets >= m.opt.Window {
+			m.evaluate()
+		}
+	}
+	if m.rare[id] {
+		m.counts[id]++
+	}
+}
+
+// Flush evaluates a partial window (e.g. at the end of a replay).
+func (m *Monitor) Flush() {
+	if m.packets > 0 {
+		m.evaluate()
+	}
+}
+
+func (m *Monitor) evaluate() {
+	for id, c := range m.counts {
+		observed := float64(c) / float64(m.packets)
+		expected := m.expected[id]
+		if observed >= m.opt.MinRate && observed > expected*m.opt.Ratio {
+			m.alarms = append(m.alarms, Alarm{
+				Node: id, Label: m.labels[id],
+				Expected: expected, Observed: observed, Window: m.window,
+			})
+		}
+	}
+	m.counts = map[int]int{}
+	m.packets = 0
+	m.window++
+}
+
+// Alarms returns the alarms raised so far, ordered by window then label.
+func (m *Monitor) Alarms() []Alarm {
+	out := append([]Alarm(nil), m.alarms...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Window != out[j].Window {
+			return out[i].Window < out[j].Window
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// Windows returns how many full windows have been evaluated.
+func (m *Monitor) Windows() int { return m.window }

@@ -1,0 +1,143 @@
+package mitigate
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dut"
+	"repro/internal/programs"
+	"repro/internal/testgen"
+	"repro/internal/trace"
+)
+
+func profileFor(t *testing.T, name string) (*core.Profile, *trace.Trace) {
+	t.Helper()
+	m, ok := programs.ByName(name)
+	if !ok {
+		t.Fatalf("unknown program %s", name)
+	}
+	tr := trace.Generate(m.Workload(1))
+	prof, err := core.ProbProf(m.Build(), trace.NewQueryProcessor(tr), core.Options{
+		Seed: 1, MaxIters: 5, SampleBudget: 2000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof, tr
+}
+
+func TestNoAlarmsUnderNormalTraffic(t *testing.T) {
+	m, _ := programs.ByName("counter (S12)")
+	prof, tr := profileFor(t, "counter (S12)")
+
+	sw := dut.New(m.Build(), dut.Config{})
+	mon := New(prof, Options{Window: 1000})
+	mon.Attach(sw)
+	for i := range tr.Packets {
+		sw.Process(&tr.Packets[i])
+	}
+	mon.Flush()
+	if n := len(mon.Alarms()); n != 0 {
+		t.Fatalf("normal traffic raised %d alarms: %v", n, mon.Alarms())
+	}
+	if mon.Windows() == 0 {
+		t.Fatal("no windows evaluated")
+	}
+}
+
+func TestAlarmsUnderAdversarialTraffic(t *testing.T) {
+	meta, _ := programs.ByName("counter (S12)")
+	prof, _ := profileFor(t, "counter (S12)")
+	prog := meta.Build()
+
+	// Under TCP-dominated traffic the rare mirror block is the UDP one.
+	target := prog.NodeByLabel("udp_sample").ID
+	adv, err := testgen.Generate(prog, target, testgen.Options{Seed: 1})
+	if err != nil || !adv.Validated {
+		t.Fatalf("generation failed: %v", err)
+	}
+	attack := testgen.WorkloadFor(adv, 5, 1000)
+
+	sw := dut.New(prog, dut.Config{})
+	mon := New(prof, Options{Window: 1000})
+	mon.Attach(sw)
+	for i := range attack.Packets {
+		sw.Process(&attack.Packets[i])
+	}
+	mon.Flush()
+
+	alarms := mon.Alarms()
+	if len(alarms) == 0 {
+		t.Fatal("adversarial traffic raised no alarms")
+	}
+	found := false
+	for _, a := range alarms {
+		if a.Label == "udp_sample" {
+			found = true
+			if a.Observed <= a.Expected {
+				t.Fatalf("alarm without excess: %+v", a)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no alarm for the attacked block; got %v", alarms)
+	}
+}
+
+func TestAlarmsOnBlinkRetransStorm(t *testing.T) {
+	meta, _ := programs.ByName("Blink (S5)")
+	prof, _ := profileFor(t, "Blink (S5)")
+	prog := meta.Build()
+
+	adv, err := testgen.Generate(prog, prog.NodeByLabel("reroute").ID, testgen.Options{Seed: 1})
+	if err != nil || !adv.Validated {
+		t.Fatalf("generation failed: %v", err)
+	}
+	attack := testgen.WorkloadFor(adv, 3, 1000)
+
+	sw := dut.New(prog, dut.Config{})
+	mon := New(prof, Options{Window: 500})
+	mon.Attach(sw)
+	for i := range attack.Packets {
+		sw.Process(&attack.Packets[i])
+	}
+	mon.Flush()
+	if len(mon.Alarms()) == 0 {
+		t.Fatal("retransmission storm raised no alarms")
+	}
+}
+
+func TestMinRateSuppressesStrays(t *testing.T) {
+	prof, _ := profileFor(t, "counter (S12)")
+	mon := New(prof, Options{Window: 1000, MinRate: 0.5})
+	// One stray rare-block visit per window must not alarm.
+	rareID := -1
+	for _, n := range prof.Nodes {
+		if n.Label == "tcp_sample" {
+			rareID = n.ID
+		}
+	}
+	entry := -1
+	for _, n := range prof.Nodes {
+		if n.Label == "entry" {
+			entry = n.ID
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		mon.Observe(entry)
+		if i == 500 {
+			mon.Observe(rareID)
+		}
+	}
+	mon.Flush()
+	if len(mon.Alarms()) != 0 {
+		t.Fatalf("stray visit alarmed: %v", mon.Alarms())
+	}
+}
+
+func TestAlarmString(t *testing.T) {
+	a := Alarm{Window: 2, Label: "reroute", Expected: 1e-20, Observed: 0.4}
+	if a.String() == "" {
+		t.Fatal("empty alarm string")
+	}
+}

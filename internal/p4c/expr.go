@@ -1,0 +1,217 @@
+package p4c
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// ---- expressions ----
+//
+// expr    := term { binop term }        (left-assoc, single precedence tier;
+//                                        Format emits full parentheses)
+// term    := number | pkt.f | reg.r | meta.m | hashN(args)[%mod] | ( expr )
+
+var binOps = map[string]ir.BinOp{
+	"+": ir.OpAdd, "-": ir.OpSub, "*": ir.OpMul,
+	"&": ir.OpAnd, "|": ir.OpOr, "^": ir.OpXor,
+	"%": ir.OpMod, "<<": ir.OpShl, ">>": ir.OpShr,
+}
+
+func (p *parser) parseExpr() (ir.Expr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, ok := binOps[p.peek().text]
+		if !ok || p.peek().kind != tokPunct {
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = ir.Bin{Op: op, A: left, B: right}
+	}
+}
+
+func (p *parser) parseTerm() (ir.Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber:
+		v, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		return ir.C(v), nil
+	case t.text == "(":
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(")")
+	case t.kind == tokIdent:
+		name := p.next().text
+		switch name {
+		case "pkt":
+			if err := p.expect("."); err != nil {
+				return nil, err
+			}
+			f, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return ir.F(f), nil
+		case "reg":
+			if err := p.expect("."); err != nil {
+				return nil, err
+			}
+			r, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return ir.R(r), nil
+		case "meta":
+			if err := p.expect("."); err != nil {
+				return nil, err
+			}
+			m, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return ir.M(m), nil
+		}
+		if strings.HasPrefix(name, "hash") {
+			return p.parseHashExpr(name)
+		}
+		return nil, p.errf("unknown expression head %q", name)
+	}
+	return nil, p.errf("expected expression")
+}
+
+// parseHashExpr handles hashN(args)[%mod].
+func (p *parser) parseHashExpr(head string) (ir.Expr, error) {
+	seed, err := strconv.ParseUint(head[len("hash"):], 10, 32)
+	if err != nil {
+		return nil, p.errf("bad hash seed in %q", head)
+	}
+	args, err := p.parseExprParenList()
+	if err != nil {
+		return nil, err
+	}
+	h := ir.HashExpr{Seed: uint32(seed), Args: args}
+	// A '%' immediately followed by a number literal is the hash modulus;
+	// '%' followed by anything else is the binary mod operator and is left
+	// for parseExpr's loop.
+	if p.peek().text == "%" && p.peekAhead(1).kind == tokNumber {
+		p.next()
+		mod, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		h.Mod = mod
+	}
+	return h, nil
+}
+
+// ---- conditions ----
+//
+// cond      := condTerm { ("&&" | "||") condTerm }
+// condTerm  := "!" "(" cond ")" | "(" cond ")" | expr cmpop expr
+//
+// A leading "(" is ambiguous between a grouped condition and a
+// parenthesized expression opening a comparison; the parser backtracks.
+
+var cmpOps = map[string]ir.CmpOp{
+	"==": ir.CmpEq, "!=": ir.CmpNe, "<": ir.CmpLt,
+	"<=": ir.CmpLe, ">": ir.CmpGt, ">=": ir.CmpGe,
+}
+
+func (p *parser) parseCmpOp() (ir.CmpOp, error) {
+	if op, ok := cmpOps[p.peek().text]; ok && p.peek().kind == tokPunct {
+		p.next()
+		return op, nil
+	}
+	return 0, p.errf("expected comparison operator")
+}
+
+func (p *parser) parseCond() (ir.Cond, error) {
+	left, err := p.parseCondTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek().text {
+		case "&&":
+			p.next()
+			right, err := p.parseCondTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = ir.And(left, right)
+		case "||":
+			p.next()
+			right, err := p.parseCondTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = ir.Or(left, right)
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseCondTerm() (ir.Cond, error) {
+	if p.peek().text == "!" {
+		p.next()
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return ir.Neg(inner), nil
+	}
+	if p.peek().text == "(" {
+		// Try a grouped condition first; backtrack to a comparison whose
+		// left side happens to be parenthesized.
+		mark := p.save()
+		p.next()
+		if inner, err := p.parseCond(); err == nil {
+			if p.accept(")") {
+				// Grouped condition — unless a comparison operator
+				// follows, which means "(expr)" was an expression.
+				if _, isCmp := cmpOps[p.peek().text]; !isCmp {
+					return inner, nil
+				}
+			}
+		}
+		p.restore(mark)
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (ir.Cond, error) {
+	a, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	op, err := p.parseCmpOp()
+	if err != nil {
+		return nil, err
+	}
+	b, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return ir.Cmp{Op: op, A: a, B: b}, nil
+}

@@ -1,0 +1,321 @@
+package p4c
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/dut"
+	"repro/internal/ir"
+	"repro/internal/programs"
+	"repro/internal/randprog"
+	"repro/internal/trace"
+)
+
+const counterSrc = `
+// counter.p4: count TCP and UDP packets, mirror every 32nd of each kind.
+program counter {
+  register tcp_cnt : 32;
+  register udp_cnt : 32;
+  apply {
+    if (pkt.proto == 6)
+      block "tcp" {
+        reg.tcp_cnt = (reg.tcp_cnt + 1);
+        if (reg.tcp_cnt >= 32)
+          block "tcp_sample" { mirror(7); reg.tcp_cnt = 0; }
+        else
+          block "tcp_fwd" { forward(1); }
+      }
+    else
+      block "udp" {
+        reg.udp_cnt = (reg.udp_cnt + 1);
+        if (reg.udp_cnt >= 32)
+          block "udp_sample" { mirror(7); reg.udp_cnt = 0; }
+        else
+          block "udp_fwd" { forward(2); }
+      }
+  }
+}
+`
+
+func TestParseCounter(t *testing.T) {
+	prog, err := Parse(counterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Name != "counter" {
+		t.Fatalf("name = %q", prog.Name)
+	}
+	if len(prog.Regs) != 2 {
+		t.Fatalf("regs = %d", len(prog.Regs))
+	}
+	if prog.NodeByLabel("tcp_sample") == nil {
+		t.Fatal("tcp_sample block missing")
+	}
+	// The parsed program must behave identically to the builder version.
+	builder := programs.Counter(32)
+	swA := dut.New(prog, dut.Config{})
+	swB := dut.New(builder, dut.Config{})
+	tr := trace.Generate(trace.GenOptions{Seed: 3, Packets: 3000})
+	var mA, mB int
+	for i := range tr.Packets {
+		mA += swA.Process(&tr.Packets[i]).Mirrors
+		mB += swB.Process(&tr.Packets[i]).Mirrors
+	}
+	if mA != mB || mA == 0 {
+		t.Fatalf("parsed (%d mirrors) and builder (%d) programs disagree", mA, mB)
+	}
+}
+
+func TestParseDataStructures(t *testing.T) {
+	src := `
+program stores {
+  field key : 32;
+  hash_table flows[1024] seed 5;
+  bloom seen[4096] hashes 3;
+  sketch cnt[3x2048];
+  register_array paths[4] : 8;
+  register rr : 8;
+  apply {
+    access flows(pkt.src_ip, pkt.dst_ip) write 1 inc into meta.c {
+      on empty -> block "fresh" { forward(1); }
+      on hit -> block "known" { forward(1); }
+      on collide -> block "clash" { recirculate(); }
+    }
+    bloom_test seen(pkt.src_ip) insert {
+      on hit -> block "bf_hit" { noop(); }
+      on miss -> block "bf_miss" { to_cpu(); }
+    }
+    sketch_update cnt(pkt.src_ip) by 1 into meta.est;
+    sketch_if cnt(pkt.src_ip) >= 100 {
+      on true -> block "heavy" { mirror(7); }
+      on false -> block "light" { noop(); }
+    }
+    meta.bp = paths[reg.rr];
+    paths[reg.rr] = 9;
+    reg.rr = ((reg.rr + 1) % 4);
+  }
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.HashTables) != 1 || prog.HashTables[0].Size != 1024 || prog.HashTables[0].Seed != 5 {
+		t.Fatalf("hash table decl wrong: %+v", prog.HashTables)
+	}
+	if len(prog.Blooms) != 1 || prog.Blooms[0].Hashes != 3 {
+		t.Fatalf("bloom decl wrong: %+v", prog.Blooms)
+	}
+	if len(prog.Sketches) != 1 || prog.Sketches[0].Rows != 3 || prog.Sketches[0].Cols != 2048 {
+		t.Fatalf("sketch decl wrong: %+v", prog.Sketches)
+	}
+	// Exercise it concretely.
+	sw := dut.New(prog, dut.Config{})
+	p := trace.Packet{SrcIP: 1, DstIP: 2}
+	sw.Process(&p)
+	if r := sw.Process(&p); r.CPUPunts != 0 {
+		t.Fatal("second sighting should pass the bloom filter")
+	}
+}
+
+func TestParseTables(t *testing.T) {
+	src := `
+program acl {
+  table acl(pkt.dst_port, pkt.proto) disjoint {
+    entry (22, 6) -> block "deny" { drop(); }
+    entry (80..90, 6) -> block "web" { forward(2); }
+    entry (*, 17) -> block "udp_any" { forward(3); }
+    default -> block "cpu" { to_cpu(); }
+  }
+  apply { apply_table acl; }
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, ok := prog.Table("acl")
+	if !ok || len(tbl.Entries) != 3 || !tbl.Disjoint {
+		t.Fatalf("table parse wrong: %+v", tbl)
+	}
+	sw := dut.New(prog, dut.Config{})
+	if !sw.Process(&trace.Packet{DstPort: 22, Proto: 6}).Dropped {
+		t.Fatal("entry 1 not matched")
+	}
+	if r := sw.Process(&trace.Packet{DstPort: 85, Proto: 6}); r.OutPort != 2 {
+		t.Fatal("range entry not matched")
+	}
+	if r := sw.Process(&trace.Packet{DstPort: 9, Proto: 17}); r.OutPort != 3 {
+		t.Fatal("wildcard entry not matched")
+	}
+	if sw.Process(&trace.Packet{DstPort: 9, Proto: 6}).CPUPunts != 1 {
+		t.Fatal("default not applied")
+	}
+}
+
+func TestParseConditions(t *testing.T) {
+	src := `
+program conds {
+  apply {
+    if (((pkt.proto == 6) && (pkt.dst_port == 80)) || !(pkt.ttl > 10))
+      block "yes" { forward(1); }
+    else
+      block "no" { drop(); }
+  }
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := dut.New(prog, dut.Config{})
+	if sw.Process(&trace.Packet{Proto: 6, DstPort: 80, TTL: 64}).Dropped {
+		t.Fatal("TCP/80 should match")
+	}
+	if sw.Process(&trace.Packet{Proto: 17, TTL: 5}).Dropped {
+		t.Fatal("low TTL should match via negation")
+	}
+	if !sw.Process(&trace.Packet{Proto: 17, TTL: 64}).Dropped {
+		t.Fatal("UDP high-TTL should not match")
+	}
+}
+
+func TestParseHashExpr(t *testing.T) {
+	src := `
+program lb {
+  apply {
+    meta.h = hash7(pkt.src_ip, pkt.dst_ip)%4;
+    forward(meta.h);
+  }
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := dut.New(prog, dut.Config{})
+	r := sw.Process(&trace.Packet{SrcIP: 1, DstIP: 2})
+	if r.OutPort >= 4 {
+		t.Fatalf("hash mod not applied: port %d", r.OutPort)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`program {`,
+		`program x { apply { } }extra`,
+		`program x { register r 32; apply { } }`,
+		`program x { apply { if pkt.proto == 6 drop(); } }`,
+		`program x { apply { bogus_stmt; } }`,
+		`program x { apply { forward(1) } }`, // missing semicolon
+		`program x { apply { reg.missing = 1; } }`,
+		`program x { apply { if (pkt.nofield == 1) drop(); } }`,
+		`program x { apply { block "b" { drop(); } `, // unterminated
+		`program x { field f : 99; apply { drop(); } }`,
+	}
+	for i, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("case %d should fail to parse/validate", i)
+		}
+	}
+}
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := lex(`foo 0x10 42 "str" == && -> // comment
+next`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tk := range toks {
+		if tk.kind != tokEOF {
+			texts = append(texts, tk.text)
+		}
+	}
+	want := []string{"foo", "0x10", "42", "str", "==", "&&", "->", "next"}
+	if strings.Join(texts, " ") != strings.Join(want, " ") {
+		t.Fatalf("tokens = %v", texts)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	if _, err := lex(`"unterminated`); err == nil {
+		t.Fatal("unterminated string should error")
+	}
+	if _, err := lex("@"); err == nil {
+		t.Fatal("stray character should error")
+	}
+}
+
+// Round-trip: Format output of every zoo program parses back into an
+// equivalent program (same labels, same concrete behaviour).
+func TestRoundTripZoo(t *testing.T) {
+	for _, m := range programs.All() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			orig := m.Build()
+			text := orig.Format()
+			back, err := Parse(text)
+			if err != nil {
+				t.Fatalf("re-parse failed: %v\n--- source ---\n%s", err, text)
+			}
+			if len(back.Nodes()) != len(orig.Nodes()) {
+				t.Fatalf("node count %d != %d", len(back.Nodes()), len(orig.Nodes()))
+			}
+			// Same behaviour on a shared traffic sample.
+			swA := dut.New(orig, dut.Config{})
+			swB := dut.New(back, dut.Config{})
+			tr := trace.Generate(m.Workload(5))
+			for i := 0; i < 1500 && i < tr.Len(); i++ {
+				ra := swA.Process(&tr.Packets[i])
+				rb := swB.Process(&tr.Packets[i])
+				if ra != rb {
+					t.Fatalf("packet %d diverges: %+v vs %+v", i, ra, rb)
+				}
+			}
+		})
+	}
+}
+
+func TestFormatContainsDeclarations(t *testing.T) {
+	text := programs.NetCache().Format()
+	for _, want := range []string{"hash_table cache[1024]", "sketch hotstats[3x2048]", "bloom reported[4096]", "field key : 32"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Format missing %q", want)
+		}
+	}
+	_ = ir.StdFields
+}
+
+// Property: Format -> Parse round-trips random programs to behaviourally
+// identical ones.
+func TestRoundTripRandomPrograms(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		orig := randprog.Deterministic(rng, randprog.Options{WithTables: seed%2 == 0})
+		back, err := Parse(orig.Format())
+		if err != nil {
+			t.Fatalf("seed %d: re-parse failed: %v\n%s", seed, err, orig.Format())
+		}
+		swA := dut.New(orig, dut.Config{})
+		swB := dut.New(back, dut.Config{})
+		prng := rand.New(rand.NewSource(seed + 1000))
+		for i := 0; i < 300; i++ {
+			p := trace.Packet{
+				Proto:   uint8(prng.Intn(256)),
+				TTL:     uint8(prng.Intn(256)),
+				DstPort: uint16(prng.Intn(2048)),
+				SrcPort: uint16(prng.Intn(65536)),
+				Len:     uint16(prng.Intn(1500)),
+			}
+			q := p.Clone()
+			ra := swA.Process(&p)
+			rb := swB.Process(&q)
+			if ra != rb {
+				t.Fatalf("seed %d packet %d: %+v vs %+v\n%s", seed, i, ra, rb, orig.Format())
+			}
+		}
+	}
+}

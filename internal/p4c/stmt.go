@@ -1,0 +1,412 @@
+package p4c
+
+import (
+	"repro/internal/ir"
+)
+
+// actionKinds maps surface names to action kinds.
+var actionKinds = map[string]ir.ActionKind{
+	"noop":        ir.ActNoOp,
+	"forward":     ir.ActForward,
+	"drop":        ir.ActDrop,
+	"to_cpu":      ir.ActToCPU,
+	"digest":      ir.ActDigest,
+	"recirculate": ir.ActRecirculate,
+	"mirror":      ir.ActMirror,
+	"to_backend":  ir.ActToBackend,
+}
+
+// parseStmtsUntil parses statements until the given closing token (not
+// consumed).
+func (p *parser) parseStmtsUntil(closer string) ([]ir.Stmt, error) {
+	var out []ir.Stmt
+	for p.peek().text != closer {
+		if p.peek().kind == tokEOF {
+			return nil, p.errf("unexpected end of input, expected %q", closer)
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (p *parser) parseStmt() (ir.Stmt, error) {
+	t := p.peek()
+	switch t.text {
+	case "block":
+		return p.parseBlock()
+	case "if":
+		return p.parseIf()
+	case "access":
+		return p.parseAccess()
+	case "bloom_test":
+		return p.parseBloomTest()
+	case "sketch_update":
+		return p.parseSketchUpdate()
+	case "sketch_if":
+		return p.parseSketchIf()
+	case "apply_table":
+		p.next()
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &ir.TableApply{Table: name}, p.expect(";")
+	}
+	if _, isAction := actionKinds[t.text]; isAction {
+		return p.parseAction()
+	}
+	return p.parseAssignLike()
+}
+
+func (p *parser) parseBlock() (ir.Stmt, error) {
+	p.next() // block
+	if p.peek().kind != tokString {
+		return nil, p.errf("expected block label string")
+	}
+	label := p.next().text
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	stmts, err := p.parseStmtsUntil("}")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("}"); err != nil {
+		return nil, err
+	}
+	return ir.Blk(label, stmts...), nil
+}
+
+func (p *parser) parseIf() (ir.Stmt, error) {
+	p.next() // if
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	f := &ir.If{Cond: cond, Then: then}
+	if p.accept("else") {
+		els, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		f.Else = els
+	}
+	return f, nil
+}
+
+func (p *parser) parseAction() (ir.Stmt, error) {
+	name, _ := p.ident()
+	kind := actionKinds[name]
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	a := &ir.Action{Kind: kind}
+	if !p.accept(")") {
+		arg, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		a.Arg = arg
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	return a, p.expect(";")
+}
+
+// parseAssignLike handles: reg.x = e;  meta.x = e;  meta.x = arr[e];
+// arr[e] = e;
+func (p *parser) parseAssignLike() (ir.Stmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case name == "reg" || name == "meta":
+		if err := p.expect("."); err != nil {
+			return nil, err
+		}
+		field, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		// meta.x = arr[idx] is an ArrayRead.
+		if name == "meta" && p.peek().kind == tokIdent && p.peekAhead(1).text == "[" {
+			arr, _ := p.ident()
+			p.next() // [
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			return &ir.ArrayRead{Array: arr, Index: idx, Dest: field}, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		if name == "reg" {
+			return ir.Set(field, e), nil
+		}
+		return ir.SetM(field, e), nil
+	case p.peek().text == "[":
+		p.next() // [
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ir.ArrayWrite{Array: name, Index: idx, Value: val}, p.expect(";")
+	}
+	return nil, p.errf("unrecognized statement %q", name)
+}
+
+func (p *parser) peekAhead(n int) token {
+	if p.pos+n < len(p.toks) {
+		return p.toks[p.pos+n]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+// parseAccess handles:
+//
+//	access store(keys) [write expr] [inc] [evict] [into meta.x] {
+//	  on empty -> stmt
+//	  on hit -> stmt
+//	  on collide -> stmt
+//	}
+func (p *parser) parseAccess() (ir.Stmt, error) {
+	p.next() // access
+	store, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	keys, err := p.parseExprParenList()
+	if err != nil {
+		return nil, err
+	}
+	h := &ir.HashAccess{Store: store, Key: keys}
+	for {
+		switch {
+		case p.accept("write"):
+			h.Write = true
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			h.Value = v
+		case p.accept("inc"):
+			h.Inc = true
+		case p.accept("evict"):
+			h.Evict = true
+		case p.accept("into"):
+			dest, err := p.parseMetaRefName()
+			if err != nil {
+				return nil, err
+			}
+			h.Dest = dest
+		default:
+			goto arms
+		}
+	}
+arms:
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for !p.accept("}") {
+		arm, stmt, err := p.parseArm()
+		if err != nil {
+			return nil, err
+		}
+		switch arm {
+		case "empty":
+			h.OnEmpty = stmt
+		case "hit":
+			h.OnHit = stmt
+		case "collide":
+			h.OnCollide = stmt
+		default:
+			return nil, p.errf("unknown access arm %q", arm)
+		}
+	}
+	return h, nil
+}
+
+func (p *parser) parseBloomTest() (ir.Stmt, error) {
+	p.next() // bloom_test
+	filter, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	keys, err := p.parseExprParenList()
+	if err != nil {
+		return nil, err
+	}
+	b := &ir.BloomOp{Filter: filter, Key: keys}
+	if p.accept("insert") {
+		b.Insert = true
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for !p.accept("}") {
+		arm, stmt, err := p.parseArm()
+		if err != nil {
+			return nil, err
+		}
+		switch arm {
+		case "hit":
+			b.OnHit = stmt
+		case "miss":
+			b.OnMiss = stmt
+		default:
+			return nil, p.errf("unknown bloom arm %q", arm)
+		}
+	}
+	return b, nil
+}
+
+func (p *parser) parseSketchUpdate() (ir.Stmt, error) {
+	p.next() // sketch_update
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	keys, err := p.parseExprParenList()
+	if err != nil {
+		return nil, err
+	}
+	s := &ir.SketchUpdate{Sketch: name, Key: keys}
+	if p.accept("by") {
+		inc, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Inc = inc
+	}
+	if p.accept("into") {
+		dest, err := p.parseMetaRefName()
+		if err != nil {
+			return nil, err
+		}
+		s.Dest = dest
+	}
+	return s, p.expect(";")
+}
+
+func (p *parser) parseSketchIf() (ir.Stmt, error) {
+	p.next() // sketch_if
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	keys, err := p.parseExprParenList()
+	if err != nil {
+		return nil, err
+	}
+	op, err := p.parseCmpOp()
+	if err != nil {
+		return nil, err
+	}
+	thresh, err := p.number()
+	if err != nil {
+		return nil, err
+	}
+	s := &ir.SketchBranch{Sketch: name, Key: keys, Op: op, Threshold: thresh}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for !p.accept("}") {
+		arm, stmt, err := p.parseArm()
+		if err != nil {
+			return nil, err
+		}
+		switch arm {
+		case "true":
+			s.OnTrue = stmt
+		case "false":
+			s.OnFalse = stmt
+		default:
+			return nil, p.errf("unknown sketch arm %q", arm)
+		}
+	}
+	return s, nil
+}
+
+// parseArm handles `on NAME -> stmt`.
+func (p *parser) parseArm() (string, ir.Stmt, error) {
+	if err := p.expect("on"); err != nil {
+		return "", nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return "", nil, err
+	}
+	if err := p.expect("->"); err != nil {
+		return "", nil, err
+	}
+	stmt, err := p.parseStmt()
+	return name, stmt, err
+}
+
+func (p *parser) parseExprParenList() ([]ir.Expr, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var out []ir.Expr
+	for !p.accept(")") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		if !p.accept(",") && p.peek().text != ")" {
+			return nil, p.errf("expected ',' or ')'")
+		}
+	}
+	return out, nil
+}
+
+func (p *parser) parseMetaRefName() (string, error) {
+	if err := p.expect("meta"); err != nil {
+		return "", err
+	}
+	if err := p.expect("."); err != nil {
+		return "", err
+	}
+	return p.ident()
+}

@@ -1,0 +1,144 @@
+// Package prob provides log-space probability arithmetic. Profiles of
+// telescoped code blocks reach magnitudes like 1e-196 (paper Figure 8),
+// and products of such values underflow float64; all probability math in
+// the profiler therefore runs in log10 space.
+package prob
+
+import (
+	"fmt"
+	"math"
+)
+
+// P is a probability stored as log10. The zero value is probability 1
+// (log10 = 0); use Zero() for probability 0.
+type P struct {
+	l float64
+}
+
+// Zero returns probability 0.
+func Zero() P { return P{l: math.Inf(-1)} }
+
+// One returns probability 1.
+func One() P { return P{l: 0} }
+
+// FromFloat converts a linear-space probability (clamped to [0,1]).
+func FromFloat(f float64) P {
+	if f <= 0 || math.IsNaN(f) {
+		return Zero()
+	}
+	if f > 1 {
+		f = 1
+	}
+	return P{l: math.Log10(f)}
+}
+
+// FromLog10 builds a probability from its log10 value directly.
+func FromLog10(l float64) P {
+	if l > 0 {
+		l = 0
+	}
+	return P{l: l}
+}
+
+// IsZero reports whether the probability is exactly 0.
+func (p P) IsZero() bool { return math.IsInf(p.l, -1) }
+
+// Log10 returns log10 of the probability (−Inf for zero).
+func (p P) Log10() float64 { return p.l }
+
+// Float returns the linear-space value; extremely small probabilities
+// underflow to 0, which is acceptable for display.
+func (p P) Float() float64 {
+	if p.IsZero() {
+		return 0
+	}
+	return math.Pow(10, p.l)
+}
+
+// Mul returns p*q.
+func (p P) Mul(q P) P {
+	if p.IsZero() || q.IsZero() {
+		return Zero()
+	}
+	return P{l: p.l + q.l}
+}
+
+// Div returns p/q (probability 1 when q is zero and p is zero).
+func (p P) Div(q P) P {
+	if p.IsZero() {
+		return Zero()
+	}
+	if q.IsZero() {
+		return One()
+	}
+	l := p.l - q.l
+	if l > 0 {
+		l = 0
+	}
+	return P{l: l}
+}
+
+// Add returns p+q (clamped to 1).
+func (p P) Add(q P) P {
+	if p.IsZero() {
+		return q
+	}
+	if q.IsZero() {
+		return p
+	}
+	hi, lo := p.l, q.l
+	if lo > hi {
+		hi, lo = lo, hi
+	}
+	l := hi + math.Log10(1+math.Pow(10, lo-hi))
+	if l > 0 {
+		l = 0
+	}
+	return P{l: l}
+}
+
+// Pow returns p^e for e >= 0.
+func (p P) Pow(e float64) P {
+	if e == 0 {
+		return One()
+	}
+	if p.IsZero() {
+		return Zero()
+	}
+	return P{l: p.l * e}
+}
+
+// Cmp returns -1, 0, or +1 comparing p with q.
+func (p P) Cmp(q P) int {
+	switch {
+	case p.l < q.l:
+		return -1
+	case p.l > q.l:
+		return 1
+	}
+	return 0
+}
+
+// Less reports p < q.
+func (p P) Less(q P) bool { return p.l < q.l }
+
+// String renders the probability in scientific notation from log space,
+// working even far below float64's underflow threshold.
+func (p P) String() string {
+	if p.IsZero() {
+		return "0"
+	}
+	if p.l > -4 {
+		return fmt.Sprintf("%.3f", p.Float())
+	}
+	exp := math.Floor(p.l)
+	mant := math.Pow(10, p.l-exp)
+	if mant >= 9.9995 { // rounding artifact
+		mant /= 10
+		exp++
+	}
+	if exp == 0 {
+		return fmt.Sprintf("%.3f", mant)
+	}
+	return fmt.Sprintf("%.3fe%+03.0f", mant, exp)
+}

@@ -1,0 +1,132 @@
+package prob
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestBasics(t *testing.T) {
+	if !Zero().IsZero() {
+		t.Fatal("Zero not zero")
+	}
+	if One().Float() != 1 {
+		t.Fatal("One not one")
+	}
+	p := FromFloat(0.25)
+	if !almostEq(p.Float(), 0.25, 1e-12) {
+		t.Fatalf("roundtrip 0.25 -> %v", p.Float())
+	}
+	if !FromFloat(-1).IsZero() || !FromFloat(0).IsZero() {
+		t.Fatal("nonpositive should be zero")
+	}
+	if FromFloat(2).Float() != 1 {
+		t.Fatal(">1 should clamp to 1")
+	}
+}
+
+func TestMulAdd(t *testing.T) {
+	a, b := FromFloat(0.5), FromFloat(0.25)
+	if !almostEq(a.Mul(b).Float(), 0.125, 1e-12) {
+		t.Fatalf("mul = %v", a.Mul(b).Float())
+	}
+	if !almostEq(a.Add(b).Float(), 0.75, 1e-12) {
+		t.Fatalf("add = %v", a.Add(b).Float())
+	}
+	if !a.Mul(Zero()).IsZero() {
+		t.Fatal("mul by zero")
+	}
+	if !almostEq(a.Add(Zero()).Float(), 0.5, 1e-12) {
+		t.Fatal("add zero identity")
+	}
+}
+
+func TestPowDeep(t *testing.T) {
+	// (1/2)^64 in log space: log10 = -64*log10(2) ≈ -19.27.
+	p := FromFloat(0.5).Pow(64)
+	if !almostEq(p.Log10(), -64*math.Log10(2), 1e-9) {
+		t.Fatalf("pow log10 = %v", p.Log10())
+	}
+	// Far below float64 underflow: (1/2)^2000 must still be representable.
+	deep := FromFloat(0.5).Pow(2000)
+	if deep.IsZero() {
+		t.Fatal("deep pow should not be zero in log space")
+	}
+	if deep.Float() != 0 {
+		t.Fatal("deep pow should underflow in linear space")
+	}
+	if deep.String() == "0" {
+		t.Fatal("deep pow should render in scientific notation")
+	}
+}
+
+func TestDiv(t *testing.T) {
+	a, b := FromFloat(0.1), FromFloat(0.5)
+	if !almostEq(a.Div(b).Float(), 0.2, 1e-12) {
+		t.Fatalf("div = %v", a.Div(b).Float())
+	}
+	// Division clamps to 1.
+	if b.Div(a).Float() != 1 {
+		t.Fatal("div should clamp at 1")
+	}
+}
+
+func TestCmp(t *testing.T) {
+	a, b := FromFloat(0.1), FromFloat(0.2)
+	if a.Cmp(b) != -1 || b.Cmp(a) != 1 || a.Cmp(a) != 0 {
+		t.Fatal("cmp wrong")
+	}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatal("less wrong")
+	}
+	if !Zero().Less(a) {
+		t.Fatal("zero should be least")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromFloat(0.5).String(); got != "0.500" {
+		t.Fatalf("String(0.5) = %q", got)
+	}
+	if got := Zero().String(); got != "0" {
+		t.Fatalf("String(0) = %q", got)
+	}
+	got := FromLog10(-22).String()
+	if got != "1.000e-22" {
+		t.Fatalf("String(1e-22) = %q", got)
+	}
+}
+
+// Property: Mul agrees with float multiplication for representable values.
+func TestMulMatchesFloat(t *testing.T) {
+	check := func(x, y uint16) bool {
+		a := (float64(x) + 1) / 65537
+		b := (float64(y) + 1) / 65537
+		got := FromFloat(a).Mul(FromFloat(b)).Float()
+		return almostEq(got, a*b, 1e-12)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Add is commutative and monotone.
+func TestAddProperties(t *testing.T) {
+	check := func(x, y uint16) bool {
+		a := FromFloat(float64(x) / 200000)
+		b := FromFloat(float64(y) / 200000)
+		s1, s2 := a.Add(b), b.Add(a)
+		if !almostEq(s1.Log10(), s2.Log10(), 1e-9) && !(s1.IsZero() && s2.IsZero()) {
+			return false
+		}
+		if !a.IsZero() && s1.Less(a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}

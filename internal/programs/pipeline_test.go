@@ -1,0 +1,80 @@
+package programs
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dut"
+	"repro/internal/ir"
+	"repro/internal/trace"
+)
+
+// The §6 multi-device direction: an ACL switch feeding a counter switch
+// over port 1, composed into one monolithic program and analyzed jointly.
+func TestComposedPipelineEndToEnd(t *testing.T) {
+	up := ACL() // forwards allowed traffic to port 1
+	down := Counter(8)
+
+	pipe, err := ir.ComposePipeline("acl-then-counter", up, down, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Concretely: allowed packets traverse both stages; denied ones stop.
+	sw := dut.New(pipe, dut.Config{})
+	visited := map[string]bool{}
+	sw.VisitHook = func(id int) { visited[pipe.Node(id).Label] = true }
+
+	allowed := trace.Packet{DstPort: 80, Proto: ir.ProtoTCP, Len: 100}
+	sw.Process(&allowed)
+	if !visited["up.allow_http"] || !visited["wire"] || !visited["dn.tcp"] {
+		t.Fatalf("allowed packet should traverse both stages: %v", visited)
+	}
+
+	visited = map[string]bool{}
+	denied := trace.Packet{DstPort: 22, Proto: ir.ProtoTCP, Len: 100}
+	sw.Process(&denied)
+	if visited["wire"] {
+		t.Fatal("denied packet must not reach the downstream stage")
+	}
+
+	// Downstream state accumulates only for traffic crossing the wire.
+	if sw.Reg("dn_tcp_cnt") != 1 {
+		t.Fatalf("dn_tcp_cnt = %d, want 1", sw.Reg("dn_tcp_cnt"))
+	}
+
+	// And the composed program profiles like any other.
+	prof, err := core.ProbProf(pipe, nil, core.Options{Seed: 1, MaxIters: 5, SampleBudget: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, ok := prof.ByLabel("wire")
+	if !ok || wire.P.IsZero() {
+		t.Fatalf("wire block unprofiled: %+v", wire)
+	}
+	deny, _ := prof.ByLabel("up.deny_ssh")
+	if !deny.P.Less(wire.P) {
+		t.Fatalf("deny (%v) should be rarer than the wire (%v)", deny.P, wire.P)
+	}
+}
+
+func TestComposedDeepBlockTelescopes(t *testing.T) {
+	// The downstream deep guard is still telescoped through the pipeline.
+	up := CopyToCPU()
+	down := Counter(64)
+	pipe, err := ir.ComposePipeline("cpu-then-counter", up, down, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := core.ProbProf(pipe, nil, core.Options{Seed: 1, MaxIters: 5, DisableSampling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, ok := prof.ByLabel("dn.tcp_sample")
+	if !ok {
+		t.Fatal("downstream sample block missing")
+	}
+	if ts.Source != core.SrcTelescope || ts.P.IsZero() {
+		t.Fatalf("composed deep block should telescope: %+v", ts)
+	}
+}

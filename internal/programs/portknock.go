@@ -1,0 +1,77 @@
+package programs
+
+import (
+	"repro/internal/ir"
+	"repro/internal/trace"
+)
+
+// PortKnock models the BEBA eBPF port-knocking network function of the §6
+// offloading case study: a sender must knock on a predefined port sequence
+// (1111, 2222, 3333) before SSH connections are admitted. The hotspot
+// components — handling of non-SSH and knock traffic — are what
+// profile-guided offloading moves onto the switch.
+func PortKnock() *ir.Program {
+	return mustBuild(&ir.Program{
+		Name:       "portknock",
+		HashTables: []ir.HashTableDecl{{Name: "knock_state", Size: 1024, Seed: 31}},
+		Root: ir.Body(
+			ir.If2(ir.Eq(ir.F("dst_port"), ir.C(1111)),
+				ir.Blk("knock1",
+					&ir.HashAccess{Store: "knock_state", Key: []ir.Expr{ir.F("src_ip")}, Write: true, Value: ir.C(1),
+						OnEmpty:   ir.Blk("k1_start", ir.Drop()),
+						OnHit:     ir.Blk("k1_restart", ir.Drop()),
+						OnCollide: ir.Blk("k1_conflict", ir.Drop())}),
+				ir.If2(ir.Eq(ir.F("dst_port"), ir.C(2222)),
+					ir.Blk("knock2",
+						&ir.HashAccess{Store: "knock_state", Key: []ir.Expr{ir.F("src_ip")}, Dest: "st1",
+							OnHit: ir.Blk("k2_check",
+								ir.If2(ir.Eq(ir.M("st1"), ir.C(1)),
+									ir.Blk("k2_advance",
+										&ir.HashAccess{Store: "knock_state", Key: []ir.Expr{ir.F("src_ip")}, Write: true, Value: ir.C(2),
+											OnHit:     ir.Blk("k2_store", ir.Drop()),
+											OnEmpty:   ir.Blk("k2_store_new", ir.Drop()),
+											OnCollide: ir.Blk("k2_conflict", ir.Drop())}),
+									ir.Blk("k2_reset",
+										&ir.HashAccess{Store: "knock_state", Key: []ir.Expr{ir.F("src_ip")}, Write: true, Value: ir.C(0),
+											OnHit:     ir.Blk("k2r_store", ir.Drop()),
+											OnEmpty:   ir.Blk("k2r_new", ir.Drop()),
+											OnCollide: ir.Blk("k2r_conflict", ir.Drop())}))),
+							OnEmpty:   ir.Blk("k2_no_state", ir.Drop()),
+							OnCollide: ir.Blk("k2_collision", ir.Drop())}),
+					ir.If2(ir.Eq(ir.F("dst_port"), ir.C(3333)),
+						ir.Blk("knock3",
+							&ir.HashAccess{Store: "knock_state", Key: []ir.Expr{ir.F("src_ip")}, Dest: "st2",
+								OnHit: ir.Blk("k3_check",
+									ir.If2(ir.Eq(ir.M("st2"), ir.C(2)),
+										ir.Blk("k3_open",
+											&ir.HashAccess{Store: "knock_state", Key: []ir.Expr{ir.F("src_ip")}, Write: true, Value: ir.C(3),
+												OnHit:     ir.Blk("k3_store", ir.Drop()),
+												OnEmpty:   ir.Blk("k3_new", ir.Drop()),
+												OnCollide: ir.Blk("k3_conflict", ir.Drop())}),
+										ir.Blk("k3_reset", ir.Drop()))),
+								OnEmpty:   ir.Blk("k3_no_state", ir.Drop()),
+								OnCollide: ir.Blk("k3_collision", ir.Drop())}),
+						ir.If2(ir.Eq(ir.F("dst_port"), ir.C(22)),
+							ir.Blk("ssh_gate",
+								&ir.HashAccess{Store: "knock_state", Key: []ir.Expr{ir.F("src_ip")}, Dest: "st3",
+									OnHit: ir.Blk("ssh_check",
+										ir.If2(ir.Eq(ir.M("st3"), ir.C(3)),
+											ir.Blk("ssh_allow", ir.Fwd(1)),
+											ir.Blk("ssh_deny", ir.Drop()))),
+									OnEmpty:   ir.Blk("ssh_unknocked", ir.Drop()),
+									OnCollide: ir.Blk("ssh_collision", ir.Drop())}),
+							// The hotspot: ordinary traffic just forwarded.
+							ir.Blk("non_ssh_forward", ir.Fwd(1)))))),
+		),
+	})
+}
+
+func init() {
+	register(Meta{
+		Name: "portknock (eBPF)", ID: 16, PaperLoC: 180, Stateful: true, UsesHash: true,
+		Build: PortKnock, DisruptMetric: "drop",
+		Workload: func(seed int64) trace.GenOptions {
+			return trace.GenOptions{Seed: seed, Packets: 20000}
+		},
+	})
+}

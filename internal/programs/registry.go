@@ -1,0 +1,135 @@
+// Package programs contains the evaluation program zoo: the eleven
+// stateless programs Vera is evaluated on, the four P4-repository stateful
+// programs (S1–S4), the seven research data-plane systems (S5–S11), the
+// four stateful microbenchmarks (S12–S15), and the eBPF port-knocking NF of
+// the §6 offloading case study — all expressed in the repository's IR.
+package programs
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/ir"
+	"repro/internal/trace"
+)
+
+// Meta describes one zoo entry.
+type Meta struct {
+	// Name as used in the paper's tables (e.g. "Blink (S5)").
+	Name string
+	// ID is the S-number, 0 for the Vera stateless set.
+	ID int
+	// PaperLoC is the line count the paper's Table 1 reports.
+	PaperLoC int
+	// VeraSet marks programs in the Vera stateless comparison set.
+	VeraSet bool
+	// Stateful / UsesHash / UsesBloom / UsesSketch / DeepState mirror the
+	// paper's Table 1 markers.
+	Stateful   bool
+	UsesHash   bool
+	UsesBloom  bool
+	UsesSketch bool
+	DeepState  bool
+
+	// Build constructs a fresh program instance.
+	Build func() *ir.Program
+
+	// Workload returns the generator options for the system's default
+	// traffic (CAIDA-like unless the paper used a custom trace).
+	Workload func(seed int64) trace.GenOptions
+
+	// BackendPort is the port wired to a backend server, if any.
+	BackendPort uint64
+
+	// DisruptMetric names the Figure 10/11 metric for this system.
+	DisruptMetric string
+}
+
+var registry []Meta
+
+func register(m Meta) {
+	registry = append(registry, m)
+}
+
+// All returns every zoo entry (stateless first, then S1–S15).
+func All() []Meta {
+	out := append([]Meta(nil), registry...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if (out[i].ID == 0) != (out[j].ID == 0) {
+			return out[i].ID == 0
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Stateless returns the Vera comparison set (Table 1, upper half).
+func Stateless() []Meta {
+	var out []Meta
+	for _, m := range All() {
+		if m.VeraSet {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Systems returns S1..S15 in order.
+func Systems() []Meta {
+	var out []Meta
+	for _, m := range All() {
+		if m.ID > 0 {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// ByName finds a zoo entry.
+func ByName(name string) (Meta, bool) {
+	for _, m := range registry {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Meta{}, false
+}
+
+// SID finds a system by its S-number.
+func SID(id int) (Meta, bool) {
+	for _, m := range registry {
+		if m.ID == id {
+			return m, true
+		}
+	}
+	return Meta{}, false
+}
+
+// Names lists all registered names.
+func Names() []string {
+	var out []string
+	for _, m := range All() {
+		out = append(out, m.Name)
+	}
+	return out
+}
+
+// defaultWorkload is the CAIDA-like default.
+func defaultWorkload(seed int64) trace.GenOptions {
+	return trace.GenOptions{Seed: seed, Packets: 20000}
+}
+
+// OracleFor builds a trace-backed oracle using the system's default
+// workload.
+func OracleFor(m Meta, seed int64) dist.Oracle {
+	return trace.NewQueryProcessor(trace.Generate(m.Workload(seed)))
+}
+
+func mustBuild(p *ir.Program) *ir.Program {
+	q, err := p.Build()
+	if err != nil {
+		panic(fmt.Sprintf("programs: %s: %v", p.Name, err))
+	}
+	return q
+}

@@ -1,0 +1,179 @@
+package programs
+
+import "repro/internal/ir"
+
+// S1/S2: the stateful P4-repository programs.
+
+func init() {
+	register(Meta{
+		Name: "lb (S1)", ID: 1, PaperLoC: 200, Stateful: true, UsesHash: true,
+		Build: LB, Workload: defaultWorkload, DisruptMetric: "port_imbalance",
+	})
+	register(Meta{
+		Name: "flowlet (S2)", ID: 2, PaperLoC: 250, Stateful: true, UsesHash: true,
+		Build: Flowlet, Workload: defaultWorkload, DisruptMetric: "port_imbalance",
+	})
+	register(Meta{
+		Name: "counter (S12)", ID: 12, PaperLoC: 90, Stateful: true, DeepState: true,
+		Build: func() *ir.Program { return Counter(32) }, Workload: defaultWorkload,
+		DisruptMetric: "mirror",
+	})
+	register(Meta{
+		Name: "htable (S13)", ID: 13, PaperLoC: 160, Stateful: true, UsesHash: true,
+		Build: func() *ir.Program { return HTable(1024, 16) }, Workload: defaultWorkload,
+		DisruptMetric: "mirror",
+	})
+	register(Meta{
+		Name: "cmsketch (S14)", ID: 14, PaperLoC: 225, Stateful: true, UsesSketch: true,
+		Build: func() *ir.Program { return CMSketch(1024, 16) }, Workload: defaultWorkload,
+		DisruptMetric: "mirror",
+	})
+	register(Meta{
+		Name: "bfilter (S15)", ID: 15, PaperLoC: 185, Stateful: true, UsesBloom: true,
+		Build: func() *ir.Program { return BFilter(4096, 16) }, Workload: defaultWorkload,
+		DisruptMetric: "mirror",
+	})
+}
+
+// LB (S1, lb.p4) hashes the 5-tuple onto four ports and tracks per-port
+// load in registers. Hash collisions concentrate flows on a victim port.
+func LB() *ir.Program {
+	return mustBuild(&ir.Program{
+		Name: "lb",
+		Regs: []ir.RegDecl{
+			{Name: "load0", Bits: 32}, {Name: "load1", Bits: 32},
+			{Name: "load2", Bits: 32}, {Name: "load3", Bits: 32},
+		},
+		HashTables: []ir.HashTableDecl{{Name: "conn", Size: 256, Seed: 1}},
+		Root: ir.Body(
+			ir.SetM("slot", ir.Hash(1, 4, ir.F("src_ip"), ir.F("dst_ip"), ir.F("src_port"), ir.F("dst_port"), ir.F("proto"))),
+			// Connection table pins flows to their slot (SilkRoad-style).
+			&ir.HashAccess{
+				Store: "conn", Key: ir.FlowKey(), Write: true, Value: ir.M("slot"),
+				OnEmpty:   ir.Blk("new_conn", ir.Fwd(0)),
+				OnHit:     ir.Blk("pinned", ir.Fwd(0)),
+				OnCollide: ir.Blk("conn_collision", ir.Recirc()),
+			},
+			ir.If2(ir.Eq(ir.M("slot"), ir.C(0)),
+				ir.Blk("port0", ir.Add1("load0"), ir.Fwd(0)),
+				ir.If2(ir.Eq(ir.M("slot"), ir.C(1)),
+					ir.Blk("port1", ir.Add1("load1"), ir.Fwd(1)),
+					ir.If2(ir.Eq(ir.M("slot"), ir.C(2)),
+						ir.Blk("port2", ir.Add1("load2"), ir.Fwd(2)),
+						ir.Blk("port3", ir.Add1("load3"), ir.Fwd(3))))),
+		),
+	})
+}
+
+// Flowlet (S2, flowlet.p4) batches closely spaced packets of a flow into
+// flowlets pinned to one port; a gap starts a new flowlet on a fresh port.
+func Flowlet() *ir.Program {
+	const gapMS = 50
+	return mustBuild(&ir.Program{
+		Name: "flowlet",
+		Regs: []ir.RegDecl{{Name: "flowlet_cnt", Bits: 32}},
+		HashTables: []ir.HashTableDecl{
+			{Name: "flowlet_port", Size: 1024, Seed: 2},
+		},
+		Root: ir.Body(
+			ir.SetM("newport", ir.Hash(3, 4, ir.F("src_ip"), ir.F("dst_ip"), ir.F("src_port"), ir.F("dst_port"), ir.F("ipd"))),
+			ir.If2(ir.Gt(ir.F("ipd"), ir.C(gapMS)),
+				// Gap expired: start a new flowlet, rebalance.
+				ir.Blk("new_flowlet",
+					ir.Add1("flowlet_cnt"),
+					&ir.HashAccess{
+						Store: "flowlet_port", Key: ir.FlowKey(), Write: true, Value: ir.M("newport"),
+						OnEmpty:   ir.Blk("fresh_flow", ir.FwdE(ir.M("newport"))),
+						OnHit:     ir.Blk("rotate_port", ir.FwdE(ir.M("newport"))),
+						OnCollide: ir.Blk("flowlet_collision", ir.Recirc(), ir.FwdE(ir.M("newport"))),
+					}),
+				// Within the gap: stick to the stored port.
+				ir.Blk("same_flowlet",
+					&ir.HashAccess{
+						Store: "flowlet_port", Key: ir.FlowKey(), Dest: "port",
+						OnEmpty:   ir.Blk("no_state", ir.FwdE(ir.M("newport"))),
+						OnHit:     ir.Blk("sticky", ir.FwdE(ir.M("port"))),
+						OnCollide: ir.Blk("sticky_collision", ir.FwdE(ir.M("port"))),
+					})),
+		),
+	})
+}
+
+// Counter (S12, counter.p4) counts TCP and UDP packets and mirrors every
+// N-th packet of each kind to a collector.
+func Counter(n uint64) *ir.Program {
+	return mustBuild(&ir.Program{
+		Name: "counter",
+		Regs: []ir.RegDecl{{Name: "tcp_cnt", Bits: 32}, {Name: "udp_cnt", Bits: 32}},
+		Root: ir.Body(
+			ir.If2(ir.Eq(ir.F("proto"), ir.C(ir.ProtoTCP)),
+				ir.Blk("tcp",
+					ir.Add1("tcp_cnt"),
+					ir.If2(ir.Ge(ir.R("tcp_cnt"), ir.C(n)),
+						ir.Blk("tcp_sample", ir.Mirror(7), ir.Set("tcp_cnt", ir.C(0))),
+						ir.Blk("tcp_fwd", ir.Fwd(1)))),
+				ir.Blk("udp",
+					ir.Add1("udp_cnt"),
+					ir.If2(ir.Ge(ir.R("udp_cnt"), ir.C(n)),
+						ir.Blk("udp_sample", ir.Mirror(7), ir.Set("udp_cnt", ir.C(0))),
+						ir.Blk("udp_fwd", ir.Fwd(2))))),
+		),
+	})
+}
+
+// HTable (S13, htable.p4) tracks exact per-flow packet counts in a CRC
+// hash table of the given size, mirroring every n-th packet of each flow.
+func HTable(size int, n uint64) *ir.Program {
+	return mustBuild(&ir.Program{
+		Name:       "htable",
+		HashTables: []ir.HashTableDecl{{Name: "flow_cnt", Size: size, Seed: 5}},
+		Root: ir.Body(
+			&ir.HashAccess{
+				Store: "flow_cnt", Key: ir.FlowKey(), Write: true, Inc: true,
+				Value: ir.C(1), Dest: "cnt",
+				OnEmpty: ir.Blk("flow_new", ir.Fwd(1)),
+				OnHit: ir.Blk("flow_seen",
+					ir.If2(ir.Eq(ir.Mod(ir.M("cnt"), ir.C(n)), ir.C(0)),
+						ir.Blk("flow_sample", ir.Mirror(7)),
+						ir.Blk("flow_fwd", ir.Fwd(1)))),
+				OnCollide: ir.Blk("flow_collision", ir.Recirc(), ir.Fwd(1)),
+			},
+		),
+	})
+}
+
+// CMSketch (S14, cmsketch.p4) tracks approximate per-flow counts in a
+// count-min sketch, mirroring every n-th packet of each flow.
+func CMSketch(cols int, n uint64) *ir.Program {
+	return mustBuild(&ir.Program{
+		Name:     "cmsketch",
+		Sketches: []ir.SketchDecl{{Name: "flow_cnt", Rows: 3, Cols: cols}},
+		Root: ir.Body(
+			&ir.SketchUpdate{Sketch: "flow_cnt", Key: ir.FlowKey(), Inc: ir.C(1), Dest: "est"},
+			ir.If2(ir.Eq(ir.Mod(ir.M("est"), ir.C(n)), ir.C(0)),
+				ir.Blk("cms_sample", ir.Mirror(7)),
+				ir.Blk("cms_fwd", ir.Fwd(1))),
+		),
+	})
+}
+
+// BFilter (S15, bfilter.p4) tests membership in a Bloom filter, counts
+// hits, and mirrors a packet to the controller every n hits.
+func BFilter(bits int, n uint64) *ir.Program {
+	return mustBuild(&ir.Program{
+		Name:   "bfilter",
+		Regs:   []ir.RegDecl{{Name: "hit_cnt", Bits: 32}},
+		Blooms: []ir.BloomDecl{{Name: "seen", Bits: bits, Hashes: 3}},
+		Root: ir.Body(
+			&ir.BloomOp{
+				Filter: "seen", Key: ir.FlowKey(), Insert: true,
+				OnHit: ir.Blk("bf_hit",
+					ir.Add1("hit_cnt"),
+					ir.If2(ir.Ge(ir.R("hit_cnt"), ir.C(n)),
+						ir.Blk("bf_sample", ir.Mirror(7), ir.Set("hit_cnt", ir.C(0))),
+						ir.Blk("bf_fwd", ir.Fwd(1)))),
+				OnMiss: ir.Blk("bf_miss", ir.Fwd(1)),
+			},
+		),
+	})
+}

@@ -1,0 +1,267 @@
+package programs
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/trace"
+)
+
+// The eleven stateless forwarding programs of the Vera comparison
+// (paper Table 1, upper half). These exercise parsing-style branching and
+// match/action tables but keep no cross-packet state.
+
+func init() {
+	register(Meta{Name: "copy-to-cpu", VeraSet: true, PaperLoC: 70, Build: CopyToCPU, Workload: defaultWorkload, DisruptMetric: "cpu"})
+	register(Meta{Name: "resubmit", VeraSet: true, PaperLoC: 70, Build: Resubmit, Workload: defaultWorkload, DisruptMetric: "recirc"})
+	register(Meta{Name: "encap", VeraSet: true, PaperLoC: 130, Build: Encap, Workload: defaultWorkload})
+	register(Meta{Name: "simple_router", VeraSet: true, PaperLoC: 145, Build: SimpleRouter, Workload: defaultWorkload})
+	register(Meta{Name: "NAT (S3)", ID: 3, VeraSet: true, PaperLoC: 290, Build: NAT, DisruptMetric: "cpu",
+		Workload: func(seed int64) trace.GenOptions {
+			// Normal traffic comes from the mapped internal block.
+			return trace.GenOptions{Seed: seed, Packets: 20000,
+				SrcIPBase: 0x0A000001, SrcIPSpan: 8, SrcPortBase: 5000, SrcPortSpan: 64}
+		}})
+	register(Meta{Name: "ACL (S4)", ID: 4, VeraSet: true, PaperLoC: 200, Build: ACL, Workload: defaultWorkload, DisruptMetric: "cpu"})
+	register(Meta{Name: "Axon", VeraSet: true, PaperLoC: 100, Build: Axon, Workload: defaultWorkload})
+	register(Meta{Name: "NDP switch", VeraSet: true, PaperLoC: 210, Build: NDP, Workload: defaultWorkload})
+	register(Meta{Name: "Beamer mux", VeraSet: true, PaperLoC: 340, Build: Beamer, Workload: defaultWorkload})
+	register(Meta{Name: "P4xos", VeraSet: true, PaperLoC: 260, Build: P4xos, Workload: defaultWorkload})
+	register(Meta{Name: "switch.p4", VeraSet: true, PaperLoC: 6000, Build: SwitchP4, Workload: defaultWorkload})
+}
+
+// CopyToCPU punts TCP SYNs to the control plane while forwarding a copy.
+func CopyToCPU() *ir.Program {
+	return mustBuild(&ir.Program{
+		Name: "copy-to-cpu",
+		Root: ir.Body(
+			ir.If1(ir.FlagSet(ir.FlagSYN), ir.Blk("to_cpu", ir.ToCPU())),
+			ir.Blk("fwd", ir.Fwd(1)),
+		),
+	})
+}
+
+// Resubmit recirculates packets with a marker TTL once.
+func Resubmit() *ir.Program {
+	return mustBuild(&ir.Program{
+		Name: "resubmit",
+		Root: ir.Body(
+			ir.If2(ir.Eq(ir.F("ttl"), ir.C(255)),
+				ir.Blk("resubmit", ir.Recirc(), ir.Fwd(1)),
+				ir.Blk("direct", ir.Fwd(1))),
+		),
+	})
+}
+
+// Encap pushes a VXLAN-style tunnel header for traffic to the tunnel port.
+func Encap() *ir.Program {
+	return mustBuild(&ir.Program{
+		Name: "encap",
+		Root: ir.Body(
+			ir.If2(ir.Eq(ir.F("dst_port"), ir.C(4789)),
+				ir.Blk("tunnel",
+					ir.SetM("vni", ir.BitAnd(ir.F("dst_ip"), ir.C(0xFFFFFF))),
+					ir.Fwd(2)),
+				ir.Blk("plain", ir.Fwd(1))),
+		),
+	})
+}
+
+// SimpleRouter is the classic ipv4 LPM + TTL check pipeline.
+func SimpleRouter() *ir.Program {
+	return mustBuild(&ir.Program{
+		Name: "simple_router",
+		Tables: []ir.TableDecl{{
+			Name: "ipv4_lpm",
+			Keys: []ir.Expr{ir.F("dst_ip")},
+			Entries: []ir.Entry{
+				{Match: []ir.MatchSpec{ir.Range(0x0A000000, 0x0AFFFFFF)}, Action: ir.Blk("net10", ir.Fwd(1))},
+				{Match: []ir.MatchSpec{ir.Range(0xC0A80000, 0xC0A8FFFF)}, Action: ir.Blk("net192", ir.Fwd(2))},
+				{Match: []ir.MatchSpec{ir.Range(0xAC100000, 0xAC1FFFFF)}, Action: ir.Blk("net172", ir.Fwd(3))},
+			},
+			Default:  ir.Blk("lpm_miss", ir.Drop()),
+			Disjoint: true,
+		}},
+		Root: ir.Body(
+			ir.If2(ir.Le(ir.F("ttl"), ir.C(1)),
+				ir.Blk("ttl_expired", ir.Drop()),
+				ir.Blk("route", &ir.TableApply{Table: "ipv4_lpm"})),
+		),
+	})
+}
+
+// NAT maps internal/external addresses; unmapped flows go to the control
+// plane for mapping installation (S3; the first-packet punt is its
+// adversarial edge case).
+func NAT() *ir.Program {
+	// Installed mappings cover the internal address/port block; traffic
+	// from outside the block (new flows) goes to the control plane.
+	entries := make([]ir.Entry, 0, 8)
+	for i := 0; i < 8; i++ {
+		entries = append(entries, ir.Entry{
+			Match: []ir.MatchSpec{
+				ir.Exact(uint64(0x0A000001 + i)),
+				ir.Range(5000, 5063),
+			},
+			Action: ir.Blk(fmt.Sprintf("rewrite%d", i),
+				ir.SetM("new_src", ir.C(uint64(0xC0000001+i))),
+				ir.Fwd(1)),
+		})
+	}
+	return mustBuild(&ir.Program{
+		Name: "nat",
+		Tables: []ir.TableDecl{{
+			Name:     "nat_map",
+			Keys:     []ir.Expr{ir.F("src_ip"), ir.F("src_port")},
+			Entries:  entries,
+			Default:  ir.Blk("nat_miss", ir.ToCPU()),
+			Disjoint: true,
+		}},
+		Root: ir.Body(&ir.TableApply{Table: "nat_map"}),
+	})
+}
+
+// ACL filters by address/port; unmatched packets escalate to the control
+// plane (S4).
+func ACL() *ir.Program {
+	return mustBuild(&ir.Program{
+		Name: "acl",
+		Tables: []ir.TableDecl{{
+			Name: "acl",
+			Keys: []ir.Expr{ir.F("dst_port"), ir.F("proto")},
+			Entries: []ir.Entry{
+				{Match: []ir.MatchSpec{ir.Exact(22), ir.Exact(ir.ProtoTCP)}, Action: ir.Blk("deny_ssh", ir.Drop())},
+				{Match: []ir.MatchSpec{ir.Exact(80), ir.Exact(ir.ProtoTCP)}, Action: ir.Blk("allow_http", ir.Fwd(1))},
+				{Match: []ir.MatchSpec{ir.Exact(443), ir.Exact(ir.ProtoTCP)}, Action: ir.Blk("allow_https", ir.Fwd(1))},
+				{Match: []ir.MatchSpec{ir.Exact(53), ir.Exact(ir.ProtoUDP)}, Action: ir.Blk("allow_dns", ir.Fwd(1))},
+				{Match: []ir.MatchSpec{ir.Exact(53), ir.Exact(ir.ProtoTCP)}, Action: ir.Blk("allow_dns_tcp", ir.Fwd(1))},
+				{Match: []ir.MatchSpec{ir.Exact(8080), ir.Exact(ir.ProtoTCP)}, Action: ir.Blk("allow_altweb", ir.Fwd(1))},
+				{Match: []ir.MatchSpec{ir.Exact(3306), ir.Exact(ir.ProtoTCP)}, Action: ir.Blk("allow_db", ir.Fwd(1))},
+				{Match: []ir.MatchSpec{ir.Exact(6379), ir.Exact(ir.ProtoTCP)}, Action: ir.Blk("allow_cache", ir.Fwd(1))},
+			},
+			Default:  ir.Blk("acl_miss", ir.ToCPU()),
+			Disjoint: true,
+		}},
+		Root: ir.Body(&ir.TableApply{Table: "acl"}),
+	})
+}
+
+// Axon forwards source-routed packets: the next hop is carried in the
+// header; non-Axon traffic drops.
+func Axon() *ir.Program {
+	return mustBuild(&ir.Program{
+		Name: "axon",
+		Fields: append(append([]ir.Field(nil), ir.StdFields...),
+			ir.Field{Name: "axon_hop", Bits: 8}),
+		Root: ir.Body(
+			ir.If2(ir.Eq(ir.F("proto"), ir.C(253)),
+				ir.Blk("source_route", ir.FwdE(ir.Mod(ir.F("axon_hop"), ir.C(8)))),
+				ir.Blk("not_axon", ir.Drop())),
+		),
+	})
+}
+
+// NDP trims oversized low-priority packets and prioritizes control packets.
+func NDP() *ir.Program {
+	return mustBuild(&ir.Program{
+		Name: "ndp",
+		Root: ir.Body(
+			ir.If2(ir.Gt(ir.F("pkt_len"), ir.C(1000)),
+				ir.Blk("trim",
+					ir.SetM("trimmed", ir.C(1)),
+					ir.Fwd(2)),
+				ir.If2(ir.FlagSet(ir.FlagACK),
+					ir.Blk("ctrl_priority", ir.Fwd(3)),
+					ir.Blk("data", ir.Fwd(1)))),
+		),
+	})
+}
+
+// Beamer is the stateless mux of the Beamer load balancer: buckets by
+// hash, with a dedicated table for pinned buckets.
+func Beamer() *ir.Program {
+	return mustBuild(&ir.Program{
+		Name: "beamer",
+		Tables: []ir.TableDecl{{
+			Name: "buckets",
+			Keys: []ir.Expr{ir.F("dst_ip")},
+			Entries: []ir.Entry{
+				{Match: []ir.MatchSpec{ir.Exact(0x08080808)}, Action: ir.Blk("pinned_a", ir.Fwd(4))},
+				{Match: []ir.MatchSpec{ir.Exact(0x08080404)}, Action: ir.Blk("pinned_b", ir.Fwd(5))},
+			},
+			Default: ir.Blk("hashed",
+				ir.SetM("bkt", ir.Hash(11, 4, ir.F("src_ip"), ir.F("src_port"))),
+				ir.FwdE(ir.M("bkt"))),
+			Disjoint: true,
+		}},
+		Root: ir.Body(&ir.TableApply{Table: "buckets"}),
+	})
+}
+
+// P4xos dispatches Paxos roles by message type carried in dst_port.
+func P4xos() *ir.Program {
+	return mustBuild(&ir.Program{
+		Name: "p4xos",
+		Tables: []ir.TableDecl{{
+			Name: "paxos_role",
+			Keys: []ir.Expr{ir.F("dst_port")},
+			Entries: []ir.Entry{
+				{Match: []ir.MatchSpec{ir.Exact(0x8888)}, Action: ir.Blk("phase1a", ir.Fwd(1))},
+				{Match: []ir.MatchSpec{ir.Exact(0x8889)}, Action: ir.Blk("phase1b", ir.Fwd(2))},
+				{Match: []ir.MatchSpec{ir.Exact(0x888A)}, Action: ir.Blk("phase2a", ir.Fwd(3))},
+				{Match: []ir.MatchSpec{ir.Exact(0x888B)}, Action: ir.Blk("phase2b", ir.Fwd(4))},
+				{Match: []ir.MatchSpec{ir.Exact(0x888C)}, Action: ir.Blk("learner", ir.ToCPU())},
+			},
+			Default:  ir.Blk("non_paxos", ir.Fwd(0)),
+			Disjoint: true,
+		}},
+		Root: ir.Body(&ir.TableApply{Table: "paxos_role"}),
+	})
+}
+
+// SwitchP4 is the branch-heavy full-pipeline program: many tables, simple
+// state. It stresses branching rather than stateful depth (paper §A.2).
+func SwitchP4() *ir.Program {
+	mkTable := func(name string, key ir.Expr, ports []uint64, punt bool) ir.TableDecl {
+		entries := make([]ir.Entry, 0, len(ports))
+		for i, pt := range ports {
+			entries = append(entries, ir.Entry{
+				Match:  []ir.MatchSpec{ir.Exact(uint64(i + 1))},
+				Action: ir.Blk(fmt.Sprintf("%s_e%d", name, i), ir.SetM(name+"_hit", ir.C(pt))),
+			})
+		}
+		var def ir.Stmt
+		if punt {
+			def = ir.Blk(name+"_miss", ir.ToCPU())
+		} else {
+			def = ir.Blk(name+"_miss", ir.SetM(name+"_hit", ir.C(0)))
+		}
+		return ir.TableDecl{Name: name, Keys: []ir.Expr{key}, Entries: entries, Default: def, Disjoint: true}
+	}
+	tables := []ir.TableDecl{
+		mkTable("port_cfg", ir.Mod(ir.F("src_port"), ir.C(5)), []uint64{1, 2, 3, 4}, false),
+		mkTable("vlan", ir.Mod(ir.F("dst_port"), ir.C(5)), []uint64{1, 2, 3, 4}, false),
+		mkTable("smac", ir.Mod(ir.F("src_ip"), ir.C(5)), []uint64{1, 2, 3}, true),
+		mkTable("dmac", ir.Mod(ir.F("dst_ip"), ir.C(5)), []uint64{1, 2, 3}, false),
+		mkTable("ipv4_fib", ir.Mod(ir.F("dst_ip"), ir.C(7)), []uint64{1, 2, 3, 4, 5}, false),
+		mkTable("ecmp", ir.Mod(ir.F("seq"), ir.C(5)), []uint64{1, 2, 3, 4}, false),
+		mkTable("ingress_acl", ir.Mod(ir.F("src_port"), ir.C(4)), []uint64{1, 2}, false),
+		mkTable("egress_acl", ir.Mod(ir.F("dst_port"), ir.C(4)), []uint64{1, 2}, false),
+		mkTable("qos", ir.Mod(ir.F("pkt_len"), ir.C(4)), []uint64{1, 2, 3}, false),
+		mkTable("meter", ir.Mod(ir.F("pkt_len"), ir.C(3)), []uint64{1, 2}, false),
+	}
+	var body []ir.Stmt
+	// Early drop for malformed packets — with drop optimization this cuts
+	// the branch product, which is the Vera technique P4wn ports.
+	body = append(body, ir.If1(ir.Le(ir.F("ttl"), ir.C(1)), ir.Blk("bad_ttl", ir.Drop())))
+	for _, t := range tables {
+		body = append(body, &ir.TableApply{Table: t.Name})
+	}
+	body = append(body, ir.Blk("deliver", ir.FwdE(ir.Mod(ir.F("dst_ip"), ir.C(8)))))
+	return mustBuild(&ir.Program{
+		Name:   "switch.p4",
+		Regs:   []ir.RegDecl{{Name: "pkt_cnt", Bits: 32}},
+		Tables: tables,
+		Root:   ir.Body(body...),
+	})
+}

@@ -1,0 +1,335 @@
+package programs
+
+import (
+	"repro/internal/ir"
+	"repro/internal/trace"
+)
+
+// The seven research data-plane systems (S5–S11). Each model keeps the
+// state structure and decision logic the paper's analysis exercises; see
+// DESIGN.md for the per-system fidelity notes.
+
+func init() {
+	register(Meta{
+		Name: "Blink (S5)", ID: 5, PaperLoC: 928, Stateful: true, UsesHash: true, DeepState: true,
+		Build: Blink, DisruptMetric: "port_imbalance",
+		Workload: func(seed int64) trace.GenOptions {
+			return trace.GenOptions{Seed: seed, Packets: 20000, RetransRate: 0.02}
+		},
+	})
+	register(Meta{
+		Name: "NetCache (S6)", ID: 6, PaperLoC: 674, Stateful: true, UsesHash: true, UsesBloom: true, UsesSketch: true, DeepState: true,
+		Build: NetCache, BackendPort: 5, DisruptMetric: "backend",
+		Workload: func(seed int64) trace.GenOptions {
+			return trace.GenOptions{Seed: seed, Packets: 20000, KeySpace: 4096, KeyZipfS: 1.3, WriteRatio: 0.05}
+		},
+	})
+	register(Meta{
+		Name: "*Flow (S7)", ID: 7, PaperLoC: 1728, Stateful: true, UsesHash: true,
+		Build: StarFlow, BackendPort: 5, DisruptMetric: "backend",
+		Workload: defaultWorkload,
+	})
+	register(Meta{
+		Name: "p40f (S8)", ID: 8, PaperLoC: 884, Stateful: true, UsesBloom: true,
+		Build: P40f, BackendPort: 5, DisruptMetric: "backend",
+		Workload: defaultWorkload,
+	})
+	register(Meta{
+		Name: "NetHCF (S9)", ID: 9, PaperLoC: 822, Stateful: true, UsesHash: true,
+		Build: NetHCF, DisruptMetric: "cpu",
+		Workload: func(seed int64) trace.GenOptions {
+			return trace.GenOptions{Seed: seed, Packets: 20000, TTLSpoofRate: 0.01}
+		},
+	})
+	register(Meta{
+		Name: "Poise (S10)", ID: 10, PaperLoC: 842, Stateful: true, UsesHash: true, UsesBloom: true,
+		Build: Poise, DisruptMetric: "digest",
+		Workload: func(seed int64) trace.GenOptions {
+			return trace.GenOptions{Seed: seed, Packets: 20000, CtxRate: 0.05}
+		},
+	})
+	register(Meta{
+		Name: "NetWarden (S11)", ID: 11, PaperLoC: 1332, Stateful: true, UsesSketch: true, DeepState: true,
+		Build: NetWarden, BackendPort: 5, DisruptMetric: "backend",
+		Workload: func(seed int64) trace.GenOptions {
+			return trace.GenOptions{Seed: seed, Packets: 20000, DupAckRate: 0.01, WideIPDRate: 0.005}
+		},
+	})
+}
+
+// Blink (S5) detects remote link failures from TCP retransmissions: it
+// samples flows into a monitoring table, tracks retransmissions in a
+// sliding window, and activates a round-robin backup path once more than 32
+// monitored flows retransmit (the 64-flow / 32-threshold structure of the
+// original). The reroute block is the deep, low-probability edge case.
+func Blink() *ir.Program {
+	return mustBuild(&ir.Program{
+		Name: "blink",
+		Regs: []ir.RegDecl{
+			{Name: "last_seq", Bits: 32},
+			{Name: "seen", Bits: 1},
+			{Name: "retrans_cnt", Bits: 32},
+			{Name: "win_cnt", Bits: 32},
+			{Name: "backup_rr", Bits: 8},
+			{Name: "rerouted", Bits: 1},
+		},
+		RegArrays:  []ir.RegArrayDecl{{Name: "backup_paths", Size: 2, Bits: 8}},
+		HashTables: []ir.HashTableDecl{{Name: "monitored", Size: 64, Seed: 7}},
+		Root: ir.Body(
+			ir.If2(ir.Eq(ir.F("proto"), ir.C(ir.ProtoTCP)),
+				ir.Blk("tcp_path",
+					// Sample the flow into the 64-entry monitoring table.
+					&ir.HashAccess{
+						Store: "monitored", Key: ir.FlowKey(), Write: true, Value: ir.F("seq"),
+						OnEmpty: ir.Blk("monitor_new", ir.Fwd(1)),
+						OnHit: ir.Blk("monitor_hit",
+							// Retransmission: same seq as last time.
+							ir.If2(ir.And(ir.Eq(ir.R("seen"), ir.C(1)), ir.Eq(ir.F("seq"), ir.R("last_seq"))),
+								ir.Blk("retransmission", ir.AddN("retrans_cnt", 1)),
+								ir.Blk("fresh_seq", ir.Fwd(1)))),
+						OnCollide: ir.Blk("monitor_evict", ir.Fwd(1)),
+					},
+					ir.Set("last_seq", ir.F("seq")),
+					ir.Set("seen", ir.C(1)),
+					// Sliding window: every 64 packets the counts decay.
+					ir.AddN("win_cnt", 1),
+					ir.If1(ir.Ge(ir.R("win_cnt"), ir.C(64)),
+						ir.Blk("window_slide",
+							ir.Set("win_cnt", ir.C(0)),
+							ir.Set("retrans_cnt", ir.C(0)))),
+					// Failure inference: >32 retransmissions in the window.
+					ir.If2(ir.Gt(ir.R("retrans_cnt"), ir.C(32)),
+						ir.Blk("reroute",
+							&ir.ArrayRead{Array: "backup_paths", Index: ir.R("backup_rr"), Dest: "bp"},
+							ir.Set("backup_rr", ir.Mod(ir.Add(ir.R("backup_rr"), ir.C(1)), ir.C(2))),
+							ir.Set("rerouted", ir.C(1)),
+							ir.Digest(),
+							ir.FwdE(ir.Add(ir.M("bp"), ir.C(2)))),
+						ir.Blk("primary",
+							ir.If2(ir.Eq(ir.R("rerouted"), ir.C(1)),
+								ir.Blk("on_backup", ir.Fwd(2)),
+								ir.Blk("on_primary", ir.Fwd(1)))))),
+				ir.Blk("non_tcp", ir.Fwd(1))),
+		),
+	})
+}
+
+// NetCache (S6) serves hot key/value pairs from the switch. Reads hit the
+// in-switch cache; misses go to the backend and bump a hot-key sketch that
+// eventually reports new hot keys to the controller. Writes invalidate.
+func NetCache() *ir.Program {
+	extra := append(append([]ir.Field(nil), ir.StdFields...),
+		ir.Field{Name: "key", Bits: 32}, ir.Field{Name: "op", Bits: 8})
+	return mustBuild(&ir.Program{
+		Name:       "netcache",
+		Fields:     extra,
+		Regs:       []ir.RegDecl{{Name: "miss_cnt", Bits: 32}},
+		HashTables: []ir.HashTableDecl{{Name: "cache", Size: 1024, Seed: 9}},
+		Sketches:   []ir.SketchDecl{{Name: "hotstats", Rows: 3, Cols: 2048}},
+		Blooms:     []ir.BloomDecl{{Name: "reported", Bits: 4096, Hashes: 3}},
+		Root: ir.Body(
+			ir.If2(ir.Eq(ir.F("op"), ir.C(0)),
+				// Read path.
+				ir.Blk("read",
+					&ir.HashAccess{
+						Store: "cache", Key: []ir.Expr{ir.F("key")},
+						OnHit: ir.Blk("cache_hit", ir.Fwd(1)),
+						OnEmpty: ir.Blk("cache_miss",
+							ir.AddN("miss_cnt", 1),
+							// Overload telemetry: every 2^20th miss raises
+							// an alarm digest (the paper's "every millionth
+							// packet" deep-block example).
+							ir.If1(ir.Ge(ir.R("miss_cnt"), ir.C(1<<20)),
+								ir.Blk("overload_alarm", ir.Digest(), ir.Set("miss_cnt", ir.C(0)))),
+							&ir.SketchUpdate{Sketch: "hotstats", Key: []ir.Expr{ir.F("key")}, Inc: ir.C(1), Dest: "heat"},
+							ir.If1(ir.Ge(ir.M("heat"), ir.C(128)),
+								ir.Blk("hot_key",
+									&ir.BloomOp{
+										Filter: "reported", Key: []ir.Expr{ir.F("key")}, Insert: true,
+										OnMiss: ir.Blk("hot_report", ir.Digest()),
+										OnHit:  ir.Blk("already_reported", &ir.Action{Kind: ir.ActNoOp}),
+									})),
+							ir.ToBackend(5)),
+						OnCollide: ir.Blk("cache_conflict", ir.ToBackend(5)),
+					}),
+				// Write path: write-allocate into the cache (modelling the
+				// controller's population of hot items) and write through
+				// to the store.
+				ir.Blk("write",
+					&ir.HashAccess{
+						Store: "cache", Key: []ir.Expr{ir.F("key")}, Write: true, Value: ir.F("key"),
+						OnHit:     ir.Blk("write_update", ir.ToBackend(5)),
+						OnEmpty:   ir.Blk("write_allocate", ir.ToBackend(5)),
+						OnCollide: ir.Blk("write_conflict", ir.ToBackend(5)),
+					})),
+		),
+	})
+}
+
+// StarFlow (S7) collects per-flow telemetry into grouped packet vectors;
+// full buffers and collisions evict records to the analytics backend.
+func StarFlow() *ir.Program {
+	return mustBuild(&ir.Program{
+		Name:       "starflow",
+		Regs:       []ir.RegDecl{{Name: "buf_used", Bits: 32}},
+		HashTables: []ir.HashTableDecl{{Name: "gpv", Size: 2048, Seed: 13}},
+		Root: ir.Body(
+			&ir.HashAccess{
+				Store: "gpv", Key: ir.FlowKey(), Write: true, Inc: true, Value: ir.C(1), Dest: "cnt",
+				OnEmpty: ir.Blk("gpv_alloc",
+					ir.AddN("buf_used", 1),
+					ir.If2(ir.Ge(ir.R("buf_used"), ir.C(2048)),
+						ir.Blk("buffer_full", ir.ToBackend(5), ir.Set("buf_used", ir.C(0))),
+						ir.Blk("gpv_track", ir.Fwd(1)))),
+				OnHit: ir.Blk("gpv_append",
+					// A full vector (64 packet records) flushes.
+					ir.If2(ir.Eq(ir.Mod(ir.M("cnt"), ir.C(64)), ir.C(0)),
+						ir.Blk("gpv_flush", ir.ToBackend(5)),
+						ir.Blk("gpv_store", ir.Fwd(1)))),
+				// Collision: evict the resident vector to the backend.
+				OnCollide: ir.Blk("gpv_evict", ir.ToBackend(5), ir.Fwd(1)),
+				Evict:     true,
+			},
+		),
+	})
+}
+
+// P40f (S8) fingerprints operating systems from SYN signatures; unknown
+// signatures and all subsequent packets of their flows are escalated to the
+// signature database.
+func P40f() *ir.Program {
+	return mustBuild(&ir.Program{
+		Name:   "p40f",
+		Blooms: []ir.BloomDecl{{Name: "unknown_flows", Bits: 8192, Hashes: 3}},
+		Tables: []ir.TableDecl{{
+			Name: "signatures",
+			Keys: []ir.Expr{ir.F("ttl"), ir.F("pkt_len")},
+			Entries: []ir.Entry{
+				{Match: []ir.MatchSpec{ir.Range(30, 64), ir.Range(60, 1500)}, Action: ir.Blk("os_linux", ir.SetM("os", ir.C(1)), ir.Fwd(1))},
+				{Match: []ir.MatchSpec{ir.Range(65, 128), ir.Range(60, 1500)}, Action: ir.Blk("os_windows", ir.SetM("os", ir.C(2)), ir.Fwd(1))},
+				{Match: []ir.MatchSpec{ir.Range(129, 255), ir.Range(60, 1500)}, Action: ir.Blk("os_solaris", ir.SetM("os", ir.C(3)), ir.Fwd(1))},
+			},
+			Default: ir.Blk("unknown_sig",
+				&ir.BloomOp{Filter: "unknown_flows", Key: ir.FlowKey(), Insert: true,
+					OnMiss: ir.Blk("mark_unknown", &ir.Action{Kind: ir.ActNoOp}),
+					OnHit:  ir.Blk("still_unknown", &ir.Action{Kind: ir.ActNoOp})},
+				ir.ToBackend(5)),
+			Disjoint: true,
+		}},
+		Root: ir.Body(
+			ir.If2(ir.FlagSet(ir.FlagSYN),
+				ir.Blk("syn_fingerprint", &ir.TableApply{Table: "signatures"}),
+				ir.Blk("non_syn",
+					// Flows with unknown signatures keep hitting the DB.
+					&ir.BloomOp{Filter: "unknown_flows", Key: ir.FlowKey(),
+						OnHit:  ir.Blk("db_followup", ir.ToBackend(5)),
+						OnMiss: ir.Blk("known_flow", ir.Fwd(1))})),
+		),
+	})
+}
+
+// NetHCF (S9) filters spoofed traffic by checking hop counts (derived from
+// TTL) against a learned per-source table; misses punt to the control plane
+// for learning, mismatches count towards spoof detection.
+func NetHCF() *ir.Program {
+	return mustBuild(&ir.Program{
+		Name:       "nethcf",
+		Regs:       []ir.RegDecl{{Name: "spoof_cnt", Bits: 32}},
+		HashTables: []ir.HashTableDecl{{Name: "ip2hc", Size: 4096, Seed: 17}},
+		Root: ir.Body(
+			// Normalize TTL to its initial class (64/128/255) remainder.
+			ir.SetM("hc", ir.BitAnd(ir.F("ttl"), ir.C(63))),
+			&ir.HashAccess{
+				Store: "ip2hc", Key: []ir.Expr{ir.F("src_ip")}, Write: true, Value: ir.M("hc"), Dest: "stored",
+				OnEmpty: ir.Blk("hc_learn", ir.ToCPU(), ir.Fwd(1)),
+				OnHit: ir.Blk("hc_check",
+					ir.If2(ir.Eq(ir.M("stored"), ir.M("hc")),
+						ir.Blk("hc_match", ir.Fwd(1)),
+						ir.Blk("hc_mismatch",
+							ir.AddN("spoof_cnt", 1),
+							ir.If2(ir.Ge(ir.R("spoof_cnt"), ir.C(16)),
+								ir.Blk("filter_mode", ir.Drop()),
+								ir.Blk("watch_mode", ir.ToCPU(), ir.Fwd(1)))))),
+				OnCollide: ir.Blk("hc_conflict", ir.ToCPU(), ir.Fwd(1)),
+			},
+		),
+	})
+}
+
+// Poise (S10) enforces context-aware policies: context packets from
+// clients update a per-source context table (digesting new contexts to the
+// controller); data packets are checked against the stored context, and
+// hash collisions recirculate until the control plane resolves them.
+func Poise() *ir.Program {
+	extra := append(append([]ir.Field(nil), ir.StdFields...),
+		ir.Field{Name: "ctx", Bits: 8})
+	return mustBuild(&ir.Program{
+		Name:       "poise",
+		Fields:     extra,
+		HashTables: []ir.HashTableDecl{{Name: "ctx_table", Size: 1024, Seed: 21}},
+		Blooms:     []ir.BloomDecl{{Name: "enrolled", Bits: 4096, Hashes: 3}},
+		Root: ir.Body(
+			ir.If2(ir.Ne(ir.F("ctx"), ir.C(0)),
+				// Context packet: install/update client context and enroll
+				// the client.
+				ir.Blk("ctx_update",
+					&ir.BloomOp{Filter: "enrolled", Key: []ir.Expr{ir.F("src_ip")}, Insert: true,
+						OnMiss: ir.Blk("enroll", &ir.Action{Kind: ir.ActNoOp}),
+						OnHit:  ir.Blk("enrolled_already", &ir.Action{Kind: ir.ActNoOp})},
+					&ir.HashAccess{
+						Store: "ctx_table", Key: []ir.Expr{ir.F("src_ip")}, Write: true, Value: ir.F("ctx"),
+						OnEmpty:   ir.Blk("ctx_new", ir.Digest(), ir.Fwd(1)),
+						OnHit:     ir.Blk("ctx_refresh", ir.Fwd(1)),
+						OnCollide: ir.Blk("ctx_collision", ir.Recirc(), ir.Digest()),
+					}),
+				// Data packet: policy decision on the stored context.
+				ir.Blk("data_packet",
+					&ir.HashAccess{
+						Store: "ctx_table", Key: []ir.Expr{ir.F("src_ip")}, Dest: "cctx",
+						OnEmpty: ir.Blk("no_ctx", ir.ToCPU(), ir.Drop()),
+						OnHit: ir.Blk("policy_check",
+							ir.If2(ir.Ge(ir.M("cctx"), ir.C(3)),
+								ir.Blk("ctx_allow", ir.Fwd(1)),
+								ir.Blk("ctx_deny", ir.Drop()))),
+						OnCollide: ir.Blk("data_collision", ir.Recirc()),
+					})),
+		),
+	})
+}
+
+// NetWarden (S11) defends against covert channels: abnormal inter-packet
+// delays and duplicate ACKs are diverted to the software defense slowpath,
+// and suspicious header values are rewritten.
+func NetWarden() *ir.Program {
+	return mustBuild(&ir.Program{
+		Name: "netwarden",
+		Regs: []ir.RegDecl{
+			{Name: "last_ack", Bits: 32},
+			{Name: "dup_cnt", Bits: 32},
+			{Name: "buffered", Bits: 32},
+		},
+		Sketches: []ir.SketchDecl{{Name: "ipd_stats", Rows: 3, Cols: 1024}},
+		Root: ir.Body(
+			// Timing channel: IPDs above the covert threshold go to the
+			// slowpath for reshaping.
+			ir.If2(ir.Gt(ir.F("ipd"), ir.C(1000)),
+				ir.Blk("timing_suspect",
+					&ir.SketchUpdate{Sketch: "ipd_stats", Key: ir.FlowKey(), Inc: ir.C(1)},
+					ir.ToBackend(5)),
+				ir.Blk("timing_ok",
+					// Storage channel: odd TTLs are rewritten in place.
+					ir.If1(ir.Gt(ir.F("ttl"), ir.C(128)),
+						ir.Blk("ttl_rewrite", ir.SetM("new_ttl", ir.C(64)))),
+					// Loss signals: duplicate ACKs buffer packets on the
+					// slowpath perpetually.
+					ir.If2(ir.And(ir.FlagSet(ir.FlagACK), ir.Eq(ir.F("ack"), ir.R("last_ack"))),
+						ir.Blk("dup_ack",
+							ir.AddN("dup_cnt", 1),
+							ir.AddN("buffered", 1),
+							ir.ToBackend(5)),
+						ir.Blk("fresh_ack",
+							ir.Set("last_ack", ir.F("ack")),
+							ir.Fwd(1))))),
+		),
+	})
+}

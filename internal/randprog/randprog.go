@@ -1,0 +1,180 @@
+// Package randprog generates random (but well-formed) IR programs for
+// property-based testing. The Deterministic class — registers, branches,
+// tables, arithmetic, but no hash-based structures — has the property that
+// a program's behaviour is a pure function of the packet sequence, which
+// lets tests assert that symbolic execution and the concrete interpreter
+// agree exactly.
+package randprog
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ir"
+)
+
+// Options bounds generated programs.
+type Options struct {
+	// MaxDepth bounds statement nesting (default 3).
+	MaxDepth int
+	// MaxRegs bounds register count (default 3).
+	MaxRegs int
+	// WithTables allows a match/action table (default off).
+	WithTables bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 3
+	}
+	if o.MaxRegs == 0 {
+		o.MaxRegs = 3
+	}
+	return o
+}
+
+// fields the generator draws from (small widths keep probabilities visible).
+var genFields = []string{"proto", "ttl", "dst_port", "src_port", "pkt_len", "tcp_flags"}
+
+type gen struct {
+	rng   *rand.Rand
+	opt   Options
+	regs  []string
+	label int
+}
+
+// Deterministic generates a random program with no approximate data
+// structures and no hash expressions: behaviour depends only on packet
+// headers and register state.
+func Deterministic(rng *rand.Rand, opt Options) *ir.Program {
+	g := &gen{rng: rng, opt: opt.withDefaults()}
+	nRegs := 1 + rng.Intn(g.opt.MaxRegs)
+	var decls []ir.RegDecl
+	for i := 0; i < nRegs; i++ {
+		name := fmt.Sprintf("r%d", i)
+		g.regs = append(g.regs, name)
+		decls = append(decls, ir.RegDecl{Name: name, Bits: 32, Init: uint64(rng.Intn(4))})
+	}
+	p := &ir.Program{
+		Name: fmt.Sprintf("rand%d", rng.Intn(1<<30)),
+		Regs: decls,
+		Root: ir.Body(g.stmts(g.opt.MaxDepth)...),
+	}
+	if g.opt.WithTables {
+		p.Tables = []ir.TableDecl{g.table()}
+		root := p.Root.(*ir.Block)
+		root.Stmts = append(root.Stmts, &ir.TableApply{Table: "t0"})
+	}
+	return p.MustBuild()
+}
+
+func (g *gen) nextLabel(prefix string) string {
+	g.label++
+	return fmt.Sprintf("%s%d", prefix, g.label)
+}
+
+func (g *gen) stmts(depth int) []ir.Stmt {
+	n := 1 + g.rng.Intn(3)
+	out := make([]ir.Stmt, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, g.stmt(depth))
+	}
+	return out
+}
+
+func (g *gen) stmt(depth int) ir.Stmt {
+	if depth <= 0 {
+		return g.leaf()
+	}
+	switch g.rng.Intn(4) {
+	case 0:
+		return ir.If2(g.cond(),
+			ir.Blk(g.nextLabel("then"), g.stmts(depth-1)...),
+			ir.Blk(g.nextLabel("else"), g.stmts(depth-1)...))
+	case 1:
+		return ir.If1(g.cond(), ir.Blk(g.nextLabel("arm"), g.stmts(depth-1)...))
+	default:
+		return g.leaf()
+	}
+}
+
+func (g *gen) leaf() ir.Stmt {
+	switch g.rng.Intn(5) {
+	case 0:
+		return ir.Set(g.reg(), g.expr(1))
+	case 1:
+		return ir.AddN(g.reg(), uint64(1+g.rng.Intn(3)))
+	case 2:
+		return ir.Fwd(uint64(g.rng.Intn(4)))
+	case 3:
+		return ir.ToCPU()
+	default:
+		return ir.SetM(g.nextLabel("m"), g.expr(1))
+	}
+}
+
+func (g *gen) reg() string { return g.regs[g.rng.Intn(len(g.regs))] }
+
+func (g *gen) field() string { return genFields[g.rng.Intn(len(genFields))] }
+
+func (g *gen) expr(depth int) ir.Expr {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		switch g.rng.Intn(3) {
+		case 0:
+			return ir.C(uint64(g.rng.Intn(256)))
+		case 1:
+			return ir.F(g.field())
+		default:
+			return ir.R(g.reg())
+		}
+	}
+	a, b := g.expr(depth-1), g.expr(depth-1)
+	if g.rng.Intn(2) == 0 {
+		return ir.Add(a, b)
+	}
+	return ir.Sub(a, b)
+}
+
+func (g *gen) cond() ir.Cond {
+	ops := []func(a, b ir.Expr) ir.Cmp{ir.Eq, ir.Ne, ir.Lt, ir.Le, ir.Gt, ir.Ge}
+	base := func() ir.Cond {
+		op := ops[g.rng.Intn(len(ops))]
+		// Comparisons against small constants keep both arms feasible
+		// often enough to be interesting.
+		return op(ir.F(g.field()), ir.C(uint64(g.rng.Intn(256))))
+	}
+	switch g.rng.Intn(5) {
+	case 0:
+		return ir.And(base(), base())
+	case 1:
+		return ir.Or(base(), base())
+	case 2:
+		return ir.Neg(base())
+	default:
+		return base()
+	}
+}
+
+func (g *gen) table() ir.TableDecl {
+	n := 1 + g.rng.Intn(3)
+	entries := make([]ir.Entry, 0, n)
+	used := map[uint64]bool{}
+	for i := 0; i < n; i++ {
+		v := uint64(g.rng.Intn(1024))
+		if used[v] {
+			continue
+		}
+		used[v] = true
+		entries = append(entries, ir.Entry{
+			Match:  []ir.MatchSpec{ir.Exact(v)},
+			Action: ir.Blk(g.nextLabel("te"), g.leaf()),
+		})
+	}
+	return ir.TableDecl{
+		Name:     "t0",
+		Keys:     []ir.Expr{ir.F("dst_port")},
+		Entries:  entries,
+		Default:  ir.Blk(g.nextLabel("td"), g.leaf()),
+		Disjoint: true,
+	}
+}

@@ -1,0 +1,137 @@
+package randprog
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dut"
+	"repro/internal/ir"
+	"repro/internal/mc"
+	"repro/internal/prob"
+	"repro/internal/solver"
+	"repro/internal/sym"
+	"repro/internal/trace"
+)
+
+// Soundness: for every symbolic path of a deterministic program, solving the
+// path condition and replaying the witness packets on the concrete
+// interpreter must visit exactly the blocks the path visited. This ties the
+// symbolic engine, the solver, and the DUT together end to end.
+func TestSymbexMatchesDUT(t *testing.T) {
+	const (
+		programs  = 60
+		packets   = 2
+		maxChecks = 12 // witness paths validated per program
+	)
+	for seed := int64(0); seed < programs; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		prog := Deterministic(rng, Options{WithTables: seed%3 == 0})
+
+		e := sym.NewEngine(prog, sym.Options{Greybox: true, MaxPaths: 1 << 14})
+		var paths []*sym.Path
+		paths = e.Initial()
+		var err error
+		ok := true
+		for i := 0; i < packets; i++ {
+			paths, err = e.Step(paths, i)
+			if err != nil {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+
+		checked := 0
+		for _, path := range paths {
+			if checked >= maxChecks {
+				break
+			}
+			asn, sat := solver.Solve(path.PC, e.Space, solver.SolveOptions{Seed: seed})
+			if !sat {
+				// Feasibility pruning is conservative; a path that the
+				// full solver rejects must carry no probability mass.
+				continue
+			}
+			checked++
+			pkts := witnessPackets(prog, asn, packets)
+
+			sw := dut.New(prog, dut.Config{})
+			got := map[int]int{}
+			sw.VisitHook = func(id int) { got[id]++ }
+			for i := range pkts {
+				sw.Process(&pkts[i])
+			}
+
+			for id, n := range path.AllVisits {
+				if got[id] != n {
+					t.Fatalf("seed %d: block %q visited %d times concretely, %d symbolically\nprogram:\n%s",
+						seed, prog.Node(id).Label, got[id], n, prog.Format())
+				}
+			}
+			for id := range got {
+				if path.AllVisits[id] == 0 {
+					t.Fatalf("seed %d: DUT visited %q which the path did not\nprogram:\n%s",
+						seed, prog.Node(id).Label, prog.Format())
+				}
+			}
+		}
+	}
+}
+
+// witnessPackets lays a solver assignment into concrete packets, defaulting
+// unconstrained fields to zero (any value satisfies the path condition).
+func witnessPackets(prog *ir.Program, asn map[solver.Var]uint64, n int) []trace.Packet {
+	pkts := make([]trace.Packet, n)
+	for i := range pkts {
+		for _, f := range prog.Fields {
+			if v, ok := asn[solver.Var{Pkt: i, Field: f.Name}]; ok {
+				pkts[i].SetField(f.Name, v)
+			}
+		}
+	}
+	return pkts
+}
+
+// Completeness of probability: over all paths of a deterministic program,
+// the probabilities must sum to 1 (the paths partition the packet space).
+func TestPathProbabilitiesPartitionSpace(t *testing.T) {
+	for seed := int64(100); seed < 130; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		prog := Deterministic(rng, Options{})
+
+		e := sym.NewEngine(prog, sym.Options{Greybox: true, MaxPaths: 1 << 14})
+		counter := mc.NewCounter(e.Space, nil)
+		paths, err := e.Run(1)
+		if err != nil {
+			continue
+		}
+		total := prob.Zero()
+		for _, p := range paths {
+			total = total.Add(sym.PathProb(p, counter))
+		}
+		if math.Abs(total.Float()-1) > 1e-6 {
+			t.Fatalf("seed %d: path mass %v != 1\nprogram:\n%s", seed, total.Float(), prog.Format())
+		}
+	}
+}
+
+// The generator itself must produce valid, non-trivial programs.
+func TestGeneratorWellFormed(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		prog := Deterministic(rng, Options{WithTables: seed%2 == 0})
+		if len(prog.Nodes()) < 1 {
+			t.Fatalf("seed %d: empty program", seed)
+		}
+		ids := map[int]bool{}
+		for _, n := range prog.Nodes() {
+			if ids[n.ID] {
+				t.Fatalf("seed %d: duplicate node ID %d", seed, n.ID)
+			}
+			ids[n.ID] = true
+		}
+	}
+}

@@ -1,0 +1,439 @@
+package sym
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/greybox"
+	"repro/internal/ir"
+	"repro/internal/prob"
+	"repro/internal/solver"
+)
+
+// ErrBudget is returned when exploration exceeds the path budget or
+// deadline — the engine's "timeout" signal, which the evaluation reports
+// exactly as the paper reports KLEE timeouts.
+var ErrBudget = errors.New("sym: exploration budget exceeded")
+
+// Options configures an engine run.
+type Options struct {
+	// Greybox folds hash tables / Bloom filters / sketches into
+	// probabilistic data stores (P4wn). When false, the engine materializes
+	// the underlying arrays and forks per possible slot (KLEE baseline).
+	Greybox bool
+	// Merge coalesces paths with identical concrete state between packets.
+	Merge bool
+	// MaxPaths bounds the live path count (0 = 1<<20).
+	MaxPaths int
+	// Deadline bounds wall-clock time (zero = none).
+	Deadline time.Time
+	// FeasibilityCheck prunes infeasible forks eagerly (default on; the
+	// NoFeasibilityCheck flag flips it for ablation).
+	NoFeasibilityCheck bool
+	// DropOptimization halts a packet's processing at a Drop action —
+	// one of the two Vera branch-cutting techniques ported to P4wn
+	// (paper §A.2).
+	DropOptimization bool
+	// Layout pins header fields to concrete values for every symbolic
+	// packet — the second ported Vera technique ("concrete packet
+	// layouts"): branchy multi-protocol pipelines are analyzed one packet
+	// layout at a time instead of across the full header space.
+	Layout map[string]uint64
+	// Locality overrides greybox key locality (0 = greybox default).
+	Locality float64
+}
+
+// Stats counts engine work.
+type Stats struct {
+	Forks          int
+	PathsExplored  int
+	FeasibilityChk int
+	Merges         int
+	ArrayBytes     int // baseline array state cloned (cost proxy)
+}
+
+// Engine interprets one program symbolically.
+type Engine struct {
+	Prog  *ir.Program
+	Space *solver.Space
+	Opts  Options
+	Stats Stats
+
+	havocN       int
+	tblEntryVars map[string][][]solver.Var
+}
+
+// NewEngine builds an engine; the Space is created from the program's
+// fields and grows as havoc variables are registered.
+func NewEngine(p *ir.Program, opts Options) *Engine {
+	if opts.MaxPaths == 0 {
+		opts.MaxPaths = 1 << 20
+	}
+	return &Engine{Prog: p, Space: solver.NewSpace(p.Fields), Opts: opts}
+}
+
+// Initial returns the empty-state starting path set.
+func (e *Engine) Initial() []*Path {
+	return []*Path{NewPath(e.Prog)}
+}
+
+// Step processes one more symbolic packet (index pkt) on every path,
+// returning the forked path set. The caller reads per-packet visit sets and
+// probabilities off the returned paths before the next Step.
+func (e *Engine) Step(paths []*Path, pkt int) ([]*Path, error) {
+	var out []*Path
+	for _, p := range paths {
+		if err := e.checkBudget(len(out)); err != nil {
+			return nil, err
+		}
+		p.resetPacket()
+		e.pinLayout(p, pkt)
+		nps, err := e.exec(p, e.Prog.Root, pkt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, nps...)
+	}
+	e.Stats.PathsExplored += len(out)
+	if len(out) > e.Opts.MaxPaths {
+		return nil, ErrBudget
+	}
+	return out, nil
+}
+
+// pinLayout constrains the new packet's fields to the configured layout.
+func (e *Engine) pinLayout(p *Path, pkt int) {
+	if len(e.Opts.Layout) == 0 {
+		return
+	}
+	for field, val := range e.Opts.Layout {
+		p.PC = append(p.PC, solver.NewCmp(ir.CmpEq,
+			solver.VarExpr(solver.Var{Pkt: pkt, Field: field}),
+			solver.ConstExpr(int64(val))))
+	}
+}
+
+// Run executes t symbolic packets from the initial state.
+func (e *Engine) Run(t int) ([]*Path, error) {
+	paths := e.Initial()
+	var err error
+	for i := 0; i < t; i++ {
+		paths, err = e.Step(paths, i)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return paths, nil
+}
+
+func (e *Engine) checkBudget(live int) error {
+	if live > e.Opts.MaxPaths {
+		return ErrBudget
+	}
+	if !e.Opts.Deadline.IsZero() && time.Now().After(e.Opts.Deadline) {
+		return ErrBudget
+	}
+	return nil
+}
+
+// ---- expression evaluation ----
+
+func (e *Engine) havoc(pkt int, dom solver.Interval) Value {
+	name := fmt.Sprintf("__h%d", e.havocN)
+	e.havocN++
+	v := solver.Var{Pkt: pkt, Field: name}
+	e.Space.SetDomain(v, dom)
+	return LinVal(solver.VarExpr(v))
+}
+
+// maskedFieldVar returns the derived variable for (field & mask), which the
+// model counter understands natively; it is reused across references so
+// that repeated tests of the same flag bits correlate correctly.
+func (e *Engine) maskedFieldVar(base solver.Var, mask uint64) Value {
+	v := solver.Var{Pkt: base.Pkt, Field: fmt.Sprintf("%s&%d", base.Field, mask)}
+	e.Space.SetDomain(v, solver.Interval{Lo: 0, Hi: mask})
+	return LinVal(solver.VarExpr(v))
+}
+
+// singleVar extracts (var, ok) when the value is exactly one unit-coefficient
+// variable with no constant.
+func singleVar(v Value) (solver.Var, bool) {
+	if v.Kind != VLin || len(v.E.Terms) != 1 || v.E.K != 0 || v.E.Terms[0].Coef != 1 {
+		return solver.Var{}, false
+	}
+	return v.E.Terms[0].Var, true
+}
+
+func (e *Engine) evalExpr(p *Path, x ir.Expr, pkt int) Value {
+	switch t := x.(type) {
+	case ir.Const:
+		return ConcreteVal(t.V)
+	case ir.FieldRef:
+		return LinVal(solver.VarExpr(solver.Var{Pkt: pkt, Field: t.Name}))
+	case ir.RegRef:
+		if v, ok := p.Regs[t.Reg]; ok {
+			return v
+		}
+		return ConcreteVal(0)
+	case ir.MetaRef:
+		if v, ok := p.Meta[t.Name]; ok {
+			return v
+		}
+		return ConcreteVal(0)
+	case ir.Bin:
+		return e.evalBin(p, t, pkt)
+	case ir.HashExpr:
+		return e.evalHash(p, t, pkt)
+	}
+	return ConcreteVal(0)
+}
+
+func (e *Engine) evalBin(p *Path, b ir.Bin, pkt int) Value {
+	a := e.evalExpr(p, b.A, pkt)
+	c := e.evalExpr(p, b.B, pkt)
+
+	if a.IsConcrete() && c.IsConcrete() {
+		return ConcreteVal(applyBinOp(b.Op, a.C, c.C))
+	}
+
+	switch b.Op {
+	case ir.OpAdd, ir.OpSub:
+		if la, ok := a.Lin(); ok {
+			if lc, ok2 := c.Lin(); ok2 {
+				if b.Op == ir.OpAdd {
+					return LinVal(la.Add(lc))
+				}
+				return LinVal(la.Sub(lc))
+			}
+		}
+		// Distribution arithmetic: shift by a concrete delta.
+		if a.Kind == VDist && c.IsConcrete() {
+			d := a.D.Clone()
+			if b.Op == ir.OpAdd {
+				d.Shift(int64(c.C))
+			} else {
+				d.Shift(-int64(c.C))
+			}
+			return DistVal(d)
+		}
+	case ir.OpMul:
+		if a.Kind == VLin && c.IsConcrete() {
+			return LinVal(a.E.Scale(int64(c.C)))
+		}
+		if c.Kind == VLin && a.IsConcrete() {
+			return LinVal(c.E.Scale(int64(a.C)))
+		}
+	case ir.OpAnd:
+		// (field & mask) gets a derived variable with an exact
+		// distribution instead of a blind havoc.
+		if v, ok := singleVar(a); ok && c.IsConcrete() {
+			return e.maskedFieldVar(v, c.C)
+		}
+		if v, ok := singleVar(c); ok && a.IsConcrete() {
+			return e.maskedFieldVar(v, a.C)
+		}
+	case ir.OpMod:
+		if a.Kind == VDist && c.IsConcrete() && c.C > 0 {
+			return DistVal(a.D.Map(func(v uint64) uint64 { return v % c.C }))
+		}
+		if c.IsConcrete() && c.C > 0 {
+			return e.havoc(pkt, solver.Interval{Lo: 0, Hi: c.C - 1})
+		}
+	}
+	// Anything else over symbolic operands is havocked.
+	return e.havoc(pkt, solver.FullInterval(32))
+}
+
+func applyBinOp(op ir.BinOp, a, b uint64) uint64 {
+	switch op {
+	case ir.OpAdd:
+		return a + b
+	case ir.OpSub:
+		return a - b
+	case ir.OpMul:
+		return a * b
+	case ir.OpAnd:
+		return a & b
+	case ir.OpOr:
+		return a | b
+	case ir.OpXor:
+		return a ^ b
+	case ir.OpMod:
+		if b == 0 {
+			return 0
+		}
+		return a % b
+	case ir.OpShl:
+		return a << (b & 63)
+	case ir.OpShr:
+		return a >> (b & 63)
+	}
+	return 0
+}
+
+func (e *Engine) evalHash(p *Path, h ir.HashExpr, pkt int) Value {
+	args := make([]Value, len(h.Args))
+	for i, a := range h.Args {
+		args[i] = e.evalExpr(p, a, pkt)
+	}
+	dom := solver.FullInterval(32)
+	if h.Mod > 0 {
+		dom = solver.Interval{Lo: 0, Hi: h.Mod - 1}
+	}
+	hv := e.havoc(pkt, dom)
+	if v, ok := singleVar(hv); ok {
+		p.Havocs = append(p.Havocs, HavocRecord{Var: v, Seed: h.Seed, Mod: h.Mod, Args: args, Pkt: pkt})
+	}
+	return hv
+}
+
+// ---- condition forking ----
+
+// forkCond splits a set of paths into those where the condition holds and
+// those where it does not, adding constraints or greybox weights.
+func (e *Engine) forkCond(paths []*Path, c ir.Cond, pkt int) (tr, fl []*Path) {
+	switch t := c.(type) {
+	case ir.Cmp:
+		for _, p := range paths {
+			pt, pf := e.forkCmp(p, t, pkt)
+			if pt != nil {
+				tr = append(tr, pt)
+			}
+			if pf != nil {
+				fl = append(fl, pf)
+			}
+		}
+		return tr, fl
+	case ir.Not:
+		f2, t2 := e.forkCond(paths, t.C, pkt)
+		return t2, f2
+	case ir.AndC:
+		t1, f1 := e.forkCond(paths, t.A, pkt)
+		t2, f2 := e.forkCond(t1, t.B, pkt)
+		return t2, append(f1, f2...)
+	case ir.OrC:
+		t1, f1 := e.forkCond(paths, t.A, pkt)
+		t2, f2 := e.forkCond(f1, t.B, pkt)
+		return append(t1, t2...), f2
+	}
+	return paths, nil
+}
+
+// forkCmp forks one path on a comparison. Either return may be nil
+// (infeasible or probability-zero arm).
+func (e *Engine) forkCmp(p *Path, c ir.Cmp, pkt int) (*Path, *Path) {
+	a := e.evalExpr(p, c.A, pkt)
+	b := e.evalExpr(p, c.B, pkt)
+
+	// Greybox distribution against a concrete threshold: weighted fork.
+	if a.Kind == VDist && b.IsConcrete() {
+		return e.forkDist(p, a.D, c.Op, b.C)
+	}
+	if b.Kind == VDist && a.IsConcrete() {
+		return e.forkDist(p, b.D, swapOp(c.Op), a.C)
+	}
+	// Distribution vs symbolic: collapse the distribution to its mean and
+	// continue with a regular constraint fork (documented approximation;
+	// data-plane programs overwhelmingly compare counters with constants).
+	if a.Kind == VDist {
+		a = ConcreteVal(distMean(a.D))
+	}
+	if b.Kind == VDist {
+		b = ConcreteVal(distMean(b.D))
+	}
+
+	if a.IsConcrete() && b.IsConcrete() {
+		if cmpConcrete(c.Op, a.C, b.C) {
+			return p, nil
+		}
+		return nil, p
+	}
+
+	la, _ := a.Lin()
+	lb, _ := b.Lin()
+	con := solver.NewCmp(c.Op, la, lb)
+
+	e.Stats.Forks++
+	pt := p.Clone()
+	pt.PC = append(pt.PC, con)
+	pf := p
+	pf.PC = append(pf.PC, con.Negate())
+
+	if !e.Opts.NoFeasibilityCheck {
+		e.Stats.FeasibilityChk += 2
+		if !solver.Feasible(pt.PC, e.Space) {
+			pt = nil
+		}
+		if !solver.Feasible(pf.PC, e.Space) {
+			pf = nil
+		}
+	}
+	return pt, pf
+}
+
+// forkDist forks on a value-distribution comparison, weighting each arm by
+// the distribution mass (greybox branching).
+func (e *Engine) forkDist(p *Path, d *greybox.ValueDist, op ir.CmpOp, k uint64) (*Path, *Path) {
+	total := d.Total()
+	if total <= 0 {
+		return nil, p
+	}
+	mTrue := d.MassWhere(func(v uint64) bool { return cmpConcrete(op, v, k) }) / total
+	e.Stats.Forks++
+	var pt, pf *Path
+	if mTrue > 0 {
+		pt = p.Clone()
+		pt.Grey = pt.Grey.Mul(prob.FromFloat(mTrue))
+	}
+	if mTrue < 1 {
+		pf = p
+		pf.Grey = pf.Grey.Mul(prob.FromFloat(1 - mTrue))
+	}
+	return pt, pf
+}
+
+func distMean(d *greybox.ValueDist) uint64 {
+	vs, ps := d.Support()
+	tot := d.Total()
+	if tot <= 0 {
+		return 0
+	}
+	m := 0.0
+	for i, v := range vs {
+		m += float64(v) * ps[i]
+	}
+	return uint64(m / tot)
+}
+
+func cmpConcrete(op ir.CmpOp, a, b uint64) bool {
+	switch op {
+	case ir.CmpEq:
+		return a == b
+	case ir.CmpNe:
+		return a != b
+	case ir.CmpLt:
+		return a < b
+	case ir.CmpLe:
+		return a <= b
+	case ir.CmpGt:
+		return a > b
+	case ir.CmpGe:
+		return a >= b
+	}
+	return false
+}
+
+func swapOp(op ir.CmpOp) ir.CmpOp {
+	switch op {
+	case ir.CmpLt:
+		return ir.CmpGt
+	case ir.CmpLe:
+		return ir.CmpGe
+	case ir.CmpGt:
+		return ir.CmpLt
+	case ir.CmpGe:
+		return ir.CmpLe
+	}
+	return op
+}

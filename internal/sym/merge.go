@@ -1,0 +1,76 @@
+package sym
+
+import (
+	"repro/internal/mc"
+	"repro/internal/prob"
+)
+
+// PathProb computes a path's probability: the folded base, times the
+// greybox factors, times the model-counted mass of the open path condition.
+func PathProb(p *Path, counter *mc.Counter) prob.P {
+	pr := p.Base.Mul(p.Grey)
+	if len(p.PC) > 0 {
+		pr = pr.Mul(counter.ProbOf(p.PC))
+	}
+	return pr
+}
+
+// Merge coalesces paths whose persistent state is fully concrete and
+// identical: their open path conditions are folded into the Base
+// probability (via the model counter) and dropped. Future behaviour of a
+// merged path depends only on its state, so this is exact for profiling.
+// Paths carrying symbolic register state (cross-packet constraints) are
+// passed through unmerged.
+//
+// Merged paths lose per-path action/havoc logs (profiling does not need
+// them); test generation runs the engine unmerged.
+func Merge(paths []*Path, counter *mc.Counter) []*Path {
+	groups := map[string]*Path{}
+	var order []string
+	var out []*Path
+	for _, p := range paths {
+		if !p.StateMergeable() {
+			out = append(out, p)
+			continue
+		}
+		key := p.StateKey()
+		pr := PathProb(p, counter)
+		if g, ok := groups[key]; ok {
+			g.Base = g.Base.Add(pr)
+			continue
+		}
+		q := p
+		q.Base = pr
+		q.Grey = prob.One()
+		q.PC = nil
+		q.Actions = nil
+		q.Havocs = nil
+		groups[key] = q
+		order = append(order, key)
+	}
+	for _, k := range order {
+		out = append(out, groups[k])
+	}
+	return out
+}
+
+// NodeProbs sums path probabilities per CFG node visited during the paths'
+// current packet: Pr_t[N] = Σ_{p visits N} Pr[p].
+func NodeProbs(paths []*Path, counter *mc.Counter, numNodes int) []prob.P {
+	out := make([]prob.P, numNodes)
+	for i := range out {
+		out[i] = prob.Zero()
+	}
+	for _, p := range paths {
+		pr := PathProb(p, counter)
+		if pr.IsZero() {
+			continue
+		}
+		for id := range p.Visits {
+			if id < numNodes {
+				out[id] = out[id].Add(pr)
+			}
+		}
+	}
+	return out
+}

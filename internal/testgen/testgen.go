@@ -1,0 +1,198 @@
+// Package testgen generates concrete packet sequences that trigger target
+// code blocks — the adversarial-testing workflow of paper §3.5 and §5.3.
+//
+// Generation runs in three phases whose times are reported separately
+// (Figure 9's decomposition):
+//
+//   - directed symbolic execution finds a symbolic path plan reaching the
+//     target, preferring CFG-closer branches; counter-guarded deep targets
+//     use the telescoped periodic pattern stretched to the threshold;
+//   - the SAT/SMT solver turns the accumulated path constraints into
+//     concrete header values;
+//   - havocing reconciles greybox data-store arms with concrete key
+//     material (fresh keys for empty arms, repeated keys for hits, CRC
+//     collision search for collisions) and validates the sequence on the
+//     concrete interpreter.
+package testgen
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dut"
+	"repro/internal/ir"
+	"repro/internal/sym"
+	"repro/internal/trace"
+)
+
+// Options tunes generation.
+type Options struct {
+	Seed int64
+	// MaxSeqLen bounds the directed-symbex sequence length (default 8).
+	MaxSeqLen int
+	// Beam is the beam width of directed exploration (default 128).
+	Beam int
+	// Retries bounds havoc/validation retries (default 8).
+	Retries int
+	// Slack extends stretched guard plans beyond the threshold (default 4).
+	Slack int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSeqLen == 0 {
+		o.MaxSeqLen = 8
+	}
+	if o.Beam == 0 {
+		o.Beam = 128
+	}
+	if o.Retries == 0 {
+		o.Retries = 8
+	}
+	if o.Slack == 0 {
+		o.Slack = 4
+	}
+	return o
+}
+
+// Decomposition reports where generation time went (Figure 9).
+type Decomposition struct {
+	Symbex time.Duration
+	Solver time.Duration
+	Havoc  time.Duration
+}
+
+// Total returns the summed phase time.
+func (d Decomposition) Total() time.Duration { return d.Symbex + d.Solver + d.Havoc }
+
+// FreshField marks a packet field havocing chose freshly (a new flow/key);
+// workload amplification may rotate it per cycle to keep producing new
+// state (new sources, new cold keys).
+type FreshField struct {
+	Pkt   int
+	Field string
+}
+
+// AdvTrace is one generated adversarial test input.
+type AdvTrace struct {
+	Program string
+	Target  int
+	Label   string
+	Packets []trace.Packet
+	Decomp  Decomposition
+	// FreshFields lists fields that may be rotated per amplification cycle.
+	FreshFields []FreshField
+	// HasCollisions marks traces containing CRC collision pairs, whose key
+	// material must not be perturbed during amplification.
+	HasCollisions bool
+	// Validated is true when replaying Packets on a fresh DUT visits the
+	// target block.
+	Validated bool
+}
+
+// ErrNotFound is returned when no plan reaching the target was found.
+var ErrNotFound = errors.New("testgen: no feasible path to target found")
+
+// Generate produces a concrete packet sequence that exercises the target
+// CFG node of the program.
+func Generate(prog *ir.Program, target int, opt Options) (*AdvTrace, error) {
+	opt = opt.withDefaults()
+	if target < 0 || target >= len(prog.Nodes()) {
+		return nil, fmt.Errorf("testgen: target node %d out of range", target)
+	}
+	out := &AdvTrace{Program: prog.Name, Target: target, Label: prog.Node(target).Label}
+
+	// Counter-guarded deep targets take the telescoped stretch plan;
+	// everything else goes through directed symbex.
+	var plan *pathPlan
+	var err error
+	symStart := time.Now()
+	if g, ok := guardOf(prog, target); ok && g.RepetitionsNeeded(1) > uint64(opt.MaxSeqLen) {
+		plan, err = stretchPlan(prog, g, target, opt)
+	} else {
+		plan, err = directedPlan(prog, target, opt)
+	}
+	out.Decomp.Symbex = time.Since(symStart)
+	if err != nil {
+		return out, err
+	}
+
+	// Solve + havoc with validation retries.
+	for try := 0; try < opt.Retries; try++ {
+		trySeed := opt.Seed + int64(try*7919)
+		solveStart := time.Now()
+		pkts, ok := solvePhase(prog, plan, trySeed)
+		out.Decomp.Solver += time.Since(solveStart)
+		if !ok {
+			continue
+		}
+		havocStart := time.Now()
+		freshFields, hasCollisions := havocPhase(prog, plan, pkts, trySeed)
+		valid := validate(prog, pkts, target)
+		out.Decomp.Havoc += time.Since(havocStart)
+		if valid {
+			out.Packets = pkts
+			out.FreshFields = freshFields
+			out.HasCollisions = hasCollisions
+			out.Validated = true
+			return out, nil
+		}
+		// Keep the best-effort sequence even when unvalidated.
+		if out.Packets == nil {
+			out.Packets = pkts
+		}
+	}
+	if out.Packets == nil {
+		return out, ErrNotFound
+	}
+	return out, nil
+}
+
+// guardOf reports whether target lies inside a counter-guarded block.
+func guardOf(prog *ir.Program, target int) (core.Guard, bool) {
+	for _, g := range core.FindGuards(prog) {
+		for _, b := range ir.Blocks(g.Node) {
+			if b.ID == target {
+				return g, true
+			}
+		}
+	}
+	return core.Guard{}, false
+}
+
+// validate replays a candidate sequence on a fresh concrete switch and
+// checks that the target block executes.
+func validate(prog *ir.Program, pkts []trace.Packet, target int) bool {
+	sw := dut.New(prog, dut.Config{})
+	hit := false
+	sw.VisitHook = func(id int) {
+		if id == target {
+			hit = true
+		}
+	}
+	for i := range pkts {
+		sw.Process(&pkts[i])
+	}
+	return hit
+}
+
+// pathPlan is the symbolic skeleton of a test sequence.
+type pathPlan struct {
+	// Length in packets.
+	Length int
+	// Path carries the accumulated constraints and greybox choices.
+	Path *sym.Path
+	// Engine provides the variable space for solving.
+	Engine *sym.Engine
+	// RepeatFrom/RepeatTo mark a packet range that concretize replicates
+	// field-wise from the previous period (used by stretched guard plans
+	// for constraints like "same seq as previous packet").
+	CopyFields map[int][]fieldCopy
+}
+
+// fieldCopy instructs packet Pkt to copy field Field from packet From.
+type fieldCopy struct {
+	Field string
+	From  int
+}

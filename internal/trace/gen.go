@@ -1,0 +1,249 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+)
+
+// GenOptions parameterizes the synthetic CAIDA-like workload generator.
+// Zero values select the defaults noted per field.
+type GenOptions struct {
+	Seed    int64
+	Packets int // default 20000
+	Flows   int // default 500
+
+	TCPShare    float64 // fraction of TCP flows (default 0.9)
+	RetransRate float64 // P(TCP packet repeats its flow's previous seq) (default 0.02)
+	FlowZipfS   float64 // flow-popularity skew, >1 (default 1.2)
+	MeanIPDms   float64 // mean inter-packet delay in ms (default 5)
+
+	// TTLSpoofRate randomizes the TTL of a packet independent of its
+	// source, modelling spoofed traffic for NetHCF (default 0.01).
+	TTLSpoofRate float64
+
+	// CtxRate emits Poise-style context packets carrying Extra["ctx"]
+	// (default 0: no context packets).
+	CtxRate float64
+	// CtxTypes is the number of distinct context types (default 4).
+	CtxTypes int
+
+	// KeySpace > 0 adds NetCache-style Extra["key"]/Extra["op"] fields:
+	// keys are Zipf-distributed over [0,KeySpace) with skew KeyZipfS, and
+	// ops are writes with probability WriteRatio.
+	KeySpace   int
+	KeyZipfS   float64 // default 1.3
+	WriteRatio float64 // default 0.05
+
+	// SrcIPBase/SrcIPSpan restrict flow source addresses to a block
+	// (0 span = unrestricted). SrcPortBase/SrcPortSpan likewise.
+	SrcIPBase   uint32
+	SrcIPSpan   int
+	SrcPortBase uint16
+	SrcPortSpan int
+
+	// DupAckRate injects duplicate-ACK packets (NetWarden loss signals).
+	DupAckRate float64
+	// WideIPDRate injects abnormally large inter-packet delays
+	// (NetWarden covert-timing suspects).
+	WideIPDRate float64
+}
+
+func (o GenOptions) withDefaults() GenOptions {
+	if o.Packets == 0 {
+		o.Packets = 20000
+	}
+	if o.Flows == 0 {
+		o.Flows = 500
+	}
+	if o.TCPShare == 0 {
+		o.TCPShare = 0.9
+	}
+	if o.RetransRate == 0 {
+		o.RetransRate = 0.02
+	}
+	if o.FlowZipfS == 0 {
+		o.FlowZipfS = 1.2
+	}
+	if o.MeanIPDms == 0 {
+		o.MeanIPDms = 5
+	}
+	if o.TTLSpoofRate == 0 {
+		o.TTLSpoofRate = 0.01
+	}
+	if o.CtxTypes == 0 {
+		o.CtxTypes = 4
+	}
+	if o.KeyZipfS == 0 {
+		o.KeyZipfS = 1.3
+	}
+	if o.WriteRatio == 0 {
+		o.WriteRatio = 0.05
+	}
+	return o
+}
+
+// Epoch presets emulate CAIDA captures from different years: the traffic
+// mix drifts (Figure 13 uses 2016/2018/2019 traces with query results
+// varying by up to two orders of magnitude).
+func Epoch(year int) GenOptions {
+	switch year {
+	case 2016:
+		return GenOptions{Seed: 2016, TCPShare: 0.85, RetransRate: 0.035, FlowZipfS: 1.1, MeanIPDms: 8}
+	case 2018:
+		return GenOptions{Seed: 2018, TCPShare: 0.90, RetransRate: 0.015, FlowZipfS: 1.3, MeanIPDms: 4}
+	default: // 2019
+		return GenOptions{Seed: 2019, TCPShare: 0.93, RetransRate: 0.008, FlowZipfS: 1.5, MeanIPDms: 3}
+	}
+}
+
+type flowState struct {
+	srcIP, dstIP     uint32
+	srcPort, dstPort uint16
+	proto            uint8
+	ttl              uint8
+	seq              uint32
+	started          bool
+	lastTS           uint64
+}
+
+// Generate produces a synthetic trace.
+func Generate(opt GenOptions) *Trace {
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	flows := make([]flowState, opt.Flows)
+	for i := range flows {
+		proto := uint8(ProtoUDP)
+		if rng.Float64() < opt.TCPShare {
+			proto = ProtoTCP
+		}
+		srcIP := rng.Uint32()
+		if opt.SrcIPSpan > 0 {
+			srcIP = opt.SrcIPBase + uint32(rng.Intn(opt.SrcIPSpan))
+		}
+		srcPort := uint16(1024 + rng.Intn(64000))
+		if opt.SrcPortSpan > 0 {
+			srcPort = opt.SrcPortBase + uint16(rng.Intn(opt.SrcPortSpan))
+		}
+		flows[i] = flowState{
+			srcIP:   srcIP,
+			dstIP:   rng.Uint32(),
+			srcPort: srcPort,
+			dstPort: wellKnownPort(rng),
+			proto:   proto,
+			ttl:     uint8(64 - rng.Intn(30)),
+			seq:     rng.Uint32(),
+		}
+	}
+	zipf := rand.NewZipf(rng, opt.FlowZipfS, 1, uint64(opt.Flows-1))
+
+	var keyZipf *rand.Zipf
+	if opt.KeySpace > 0 {
+		keyZipf = rand.NewZipf(rng, opt.KeyZipfS, 1, uint64(opt.KeySpace-1))
+	}
+
+	t := &Trace{Packets: make([]Packet, 0, opt.Packets)}
+	ts := uint64(0)
+	for i := 0; i < opt.Packets; i++ {
+		f := &flows[zipf.Uint64()]
+		ipdMS := expDelay(rng, opt.MeanIPDms)
+		if opt.WideIPDRate > 0 && rng.Float64() < opt.WideIPDRate {
+			ipdMS = opt.MeanIPDms * (50 + rng.Float64()*200)
+		}
+		ts += uint64(ipdMS * 1000)
+
+		p := Packet{
+			TS:      ts,
+			Proto:   f.proto,
+			SrcIP:   f.srcIP,
+			DstIP:   f.dstIP,
+			SrcPort: f.srcPort,
+			DstPort: f.dstPort,
+			TTL:     f.ttl,
+			Len:     uint16(64 + rng.Intn(1400)),
+		}
+		flowIPD := uint64(0)
+		if f.lastTS != 0 {
+			flowIPD = (ts - f.lastTS) / 1000
+		}
+		if flowIPD > 65535 {
+			flowIPD = 65535
+		}
+		p.IPD = uint16(flowIPD)
+		f.lastTS = ts
+
+		if f.proto == ProtoTCP {
+			switch {
+			case !f.started:
+				p.TCPFlags = FlagSYN
+				f.started = true
+			case opt.DupAckRate > 0 && rng.Float64() < opt.DupAckRate:
+				p.TCPFlags = FlagACK
+				p.Len = 64
+				// Duplicate ACK: same ack number as a loss signal.
+				p.Ack = f.seq
+			default:
+				p.TCPFlags = FlagACK
+				p.Ack = rng.Uint32()
+			}
+			if rng.Float64() < opt.RetransRate {
+				// Retransmission: repeat the flow's current seq.
+				p.Seq = f.seq
+			} else {
+				f.seq += uint32(p.Len)
+				p.Seq = f.seq
+			}
+		} else {
+			// seq is undefined for non-TCP packets; fill with noise so
+			// distribution queries are not skewed by a constant.
+			p.Seq = rng.Uint32()
+		}
+
+		if rng.Float64() < opt.TTLSpoofRate {
+			p.TTL = uint8(1 + rng.Intn(255))
+		}
+		if opt.CtxRate > 0 {
+			// Non-context packets carry an explicit ctx=0 so that marginal
+			// queries see the full distribution, zero included.
+			ctx := uint64(0)
+			if rng.Float64() < opt.CtxRate {
+				ctx = uint64(1 + rng.Intn(opt.CtxTypes))
+			}
+			p.SetField("ctx", ctx)
+		}
+		if keyZipf != nil {
+			p.SetField("key", keyZipf.Uint64())
+			op := uint64(0)
+			if rng.Float64() < opt.WriteRatio {
+				op = 1
+			}
+			p.SetField("op", op)
+		}
+		t.Packets = append(t.Packets, p)
+	}
+	return t
+}
+
+// Protocol constants (duplicated from ir to keep the package standalone).
+const (
+	ProtoTCP = 6
+	ProtoUDP = 17
+
+	FlagFIN = 1 << 0
+	FlagSYN = 1 << 1
+	FlagRST = 1 << 2
+	FlagPSH = 1 << 3
+	FlagACK = 1 << 4
+)
+
+func wellKnownPort(rng *rand.Rand) uint16 {
+	ports := []uint16{80, 443, 22, 53, 8080, 3306, 6379}
+	if rng.Float64() < 0.8 {
+		return ports[rng.Intn(len(ports))]
+	}
+	return uint16(1024 + rng.Intn(64000))
+}
+
+func expDelay(rng *rand.Rand, mean float64) float64 {
+	return -mean * math.Log(1-rng.Float64())
+}

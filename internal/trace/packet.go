@@ -1,0 +1,211 @@
+// Package trace provides packet traces: the container and binary format,
+// a synthetic CAIDA-like workload generator, and the interactive query
+// processor that serves as P4wn's traffic oracle (the paper pins a pcap
+// trace in memory and answers header-distribution queries against it,
+// caching results).
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Packet is one packet record. Fixed header fields mirror ir.StdFields;
+// Extra carries program-specific fields (NetCache keys, Poise context
+// types, ...).
+type Packet struct {
+	TS       uint64 // virtual time, microseconds
+	Proto    uint8
+	SrcIP    uint32
+	DstIP    uint32
+	SrcPort  uint16
+	DstPort  uint16
+	TCPFlags uint8
+	Seq      uint32
+	Ack      uint32
+	TTL      uint8
+	Len      uint16
+	IPD      uint16 // inter-packet delay, milliseconds
+
+	Extra map[string]uint64
+}
+
+// Field reads a header field by its IR name.
+func (p *Packet) Field(name string) (uint64, bool) {
+	switch name {
+	case "proto":
+		return uint64(p.Proto), true
+	case "src_ip":
+		return uint64(p.SrcIP), true
+	case "dst_ip":
+		return uint64(p.DstIP), true
+	case "src_port":
+		return uint64(p.SrcPort), true
+	case "dst_port":
+		return uint64(p.DstPort), true
+	case "tcp_flags":
+		return uint64(p.TCPFlags), true
+	case "seq":
+		return uint64(p.Seq), true
+	case "ack":
+		return uint64(p.Ack), true
+	case "ttl":
+		return uint64(p.TTL), true
+	case "pkt_len":
+		return uint64(p.Len), true
+	case "ipd":
+		return uint64(p.IPD), true
+	}
+	if p.Extra != nil {
+		if v, ok := p.Extra[name]; ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// SetField writes a header field by its IR name; unknown names go to Extra.
+func (p *Packet) SetField(name string, v uint64) {
+	switch name {
+	case "proto":
+		p.Proto = uint8(v)
+	case "src_ip":
+		p.SrcIP = uint32(v)
+	case "dst_ip":
+		p.DstIP = uint32(v)
+	case "src_port":
+		p.SrcPort = uint16(v)
+	case "dst_port":
+		p.DstPort = uint16(v)
+	case "tcp_flags":
+		p.TCPFlags = uint8(v)
+	case "seq":
+		p.Seq = uint32(v)
+	case "ack":
+		p.Ack = uint32(v)
+	case "ttl":
+		p.TTL = uint8(v)
+	case "pkt_len":
+		p.Len = uint16(v)
+	case "ipd":
+		p.IPD = uint16(v)
+	default:
+		if p.Extra == nil {
+			p.Extra = map[string]uint64{}
+		}
+		p.Extra[name] = v
+	}
+}
+
+// FlowID returns a canonical 5-tuple identifier string.
+func (p *Packet) FlowID() string {
+	return fmt.Sprintf("%d:%d:%d:%d:%d", p.SrcIP, p.DstIP, p.SrcPort, p.DstPort, p.Proto)
+}
+
+// Clone deep-copies the packet.
+func (p *Packet) Clone() Packet {
+	q := *p
+	if p.Extra != nil {
+		q.Extra = make(map[string]uint64, len(p.Extra))
+		for k, v := range p.Extra {
+			q.Extra[k] = v
+		}
+	}
+	return q
+}
+
+// Trace is an ordered packet sequence.
+type Trace struct {
+	Packets []Packet
+}
+
+// Len returns the number of packets.
+func (t *Trace) Len() int { return len(t.Packets) }
+
+// Append adds a packet.
+func (t *Trace) Append(p Packet) { t.Packets = append(t.Packets, p) }
+
+// Duration returns the covered virtual time in microseconds.
+func (t *Trace) Duration() uint64 {
+	if len(t.Packets) == 0 {
+		return 0
+	}
+	return t.Packets[len(t.Packets)-1].TS - t.Packets[0].TS
+}
+
+// Slice returns the sub-trace within [fromTS, toTS).
+func (t *Trace) Slice(fromTS, toTS uint64) *Trace {
+	out := &Trace{}
+	for i := range t.Packets {
+		if ts := t.Packets[i].TS; ts >= fromTS && ts < toTS {
+			out.Packets = append(out.Packets, t.Packets[i])
+		}
+	}
+	return out
+}
+
+// Flows returns the distinct flow IDs in first-seen order.
+func (t *Trace) Flows() []string {
+	seen := map[string]bool{}
+	var out []string
+	for i := range t.Packets {
+		id := t.Packets[i].FlowID()
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Retime rewrites timestamps so the trace starts at startTS and carries
+// pps packets per second (used to replay workloads at a controlled rate).
+func (t *Trace) Retime(startTS uint64, pps int) {
+	if pps <= 0 {
+		pps = 1000
+	}
+	step := uint64(1e6) / uint64(pps)
+	for i := range t.Packets {
+		t.Packets[i].TS = startTS + uint64(i)*step
+	}
+}
+
+// Concat appends o's packets after t's, preserving each packet's offset
+// within its half (o is shifted to start right after t ends).
+func Concat(t, o *Trace) *Trace {
+	out := &Trace{Packets: append([]Packet(nil), t.Packets...)}
+	var base uint64
+	if n := len(t.Packets); n > 0 {
+		base = t.Packets[n-1].TS + 1
+	}
+	var first uint64
+	if len(o.Packets) > 0 {
+		first = o.Packets[0].TS
+	}
+	for i := range o.Packets {
+		p := o.Packets[i].Clone()
+		p.TS = base + (o.Packets[i].TS - first)
+		out.Packets = append(out.Packets, p)
+	}
+	return out
+}
+
+// FieldValues returns the sorted distinct values of a field with counts.
+func (t *Trace) FieldValues(field string) ([]uint64, []int) {
+	counts := map[uint64]int{}
+	for i := range t.Packets {
+		if v, ok := t.Packets[i].Field(field); ok {
+			counts[v]++
+		}
+	}
+	vals := make([]uint64, 0, len(counts))
+	for v := range counts {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	cnts := make([]int, len(vals))
+	for i, v := range vals {
+		cnts[i] = counts[v]
+	}
+	return vals, cnts
+}

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"path/filepath"
+	"testing"
+)
+
+func TestPcapRoundtrip(t *testing.T) {
+	tr := Generate(GenOptions{Seed: 31, Packets: 400, Flows: 20, KeySpace: 64, CtxRate: 0.1})
+	var buf bytes.Buffer
+	if err := tr.WritePcap(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("len %d != %d", got.Len(), tr.Len())
+	}
+	for i := range tr.Packets {
+		a, b := &tr.Packets[i], &got.Packets[i]
+		if a.SrcIP != b.SrcIP || a.DstIP != b.DstIP || a.SrcPort != b.SrcPort ||
+			a.DstPort != b.DstPort || a.Proto != b.Proto || a.TTL != b.TTL {
+			t.Fatalf("packet %d header mismatch: %+v vs %+v", i, a, b)
+		}
+		if a.Proto == ProtoTCP && (a.Seq != b.Seq || a.TCPFlags != b.TCPFlags || a.Ack != b.Ack) {
+			t.Fatalf("packet %d TCP fields mismatch", i)
+		}
+		if a.TS != b.TS {
+			t.Fatalf("packet %d timestamp mismatch: %d vs %d", i, a.TS, b.TS)
+		}
+		if a.IPD != b.IPD {
+			t.Fatalf("packet %d IPD mismatch", i)
+		}
+		for k, v := range a.Extra {
+			if got, ok := b.Extra[k]; !ok || got != v {
+				t.Fatalf("packet %d extra %q mismatch", i, k)
+			}
+		}
+	}
+}
+
+func TestPcapFileRoundtrip(t *testing.T) {
+	tr := Generate(GenOptions{Seed: 32, Packets: 50})
+	path := filepath.Join(t.TempDir(), "t.pcap")
+	if err := tr.WritePcapFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPcapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 50 {
+		t.Fatalf("len = %d", got.Len())
+	}
+}
+
+func TestPcapHeaderWellFormed(t *testing.T) {
+	tr := Generate(GenOptions{Seed: 33, Packets: 3})
+	var buf bytes.Buffer
+	if err := tr.WritePcap(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if binary.LittleEndian.Uint32(b[0:4]) != pcapMagic {
+		t.Fatal("bad magic")
+	}
+	if binary.LittleEndian.Uint32(b[20:24]) != linkEther {
+		t.Fatal("bad link type")
+	}
+	// First record's frame must be a valid IPv4-over-Ethernet packet.
+	frame := b[24+16:]
+	if binary.BigEndian.Uint16(frame[12:14]) != 0x0800 {
+		t.Fatal("not IPv4")
+	}
+	// IPv4 checksum must verify (sums to 0xffff with the checksum field).
+	ip := frame[14 : 14+20]
+	sum := uint32(0)
+	for i := 0; i < 20; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(ip[i : i+2]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	if uint16(sum) != 0xffff {
+		t.Fatalf("IP checksum does not verify: %#x", sum)
+	}
+}
+
+func TestPcapRejectsGarbage(t *testing.T) {
+	if _, err := ReadPcap(bytes.NewReader([]byte("not a pcap file at all....."))); err == nil {
+		t.Fatal("garbage should be rejected")
+	}
+}
+
+func TestPcapMinFrameLengths(t *testing.T) {
+	// Tiny declared lengths must still produce valid frames.
+	tr := &Trace{Packets: []Packet{{Proto: ProtoTCP, Len: 1}, {Proto: ProtoUDP, Len: 1}}}
+	var buf bytes.Buffer
+	if err := tr.WritePcap(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("len = %d", got.Len())
+	}
+}

@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"sort"
+
+	"repro/internal/dist"
+)
+
+// QueryProcessor answers P4wn's interactive traffic-composition queries
+// against a pinned in-memory trace, mirroring the paper's query processor:
+// the trace is loaded once, and query results are cached and reused.
+//
+// It implements dist.Oracle. Marginal distributions are estimated from the
+// empirical histogram; pair-equality queries (e.g. "how often does a flow
+// repeat a seq?") are answered from within-flow adjacent packet pairs,
+// which is exactly the correlation retransmission-style constraints need.
+type QueryProcessor struct {
+	tr *Trace
+
+	distCache map[string]dist.Dist
+	pairCache map[string]float64
+	queries   int
+	scans     int
+}
+
+// NewQueryProcessor pins a trace and prepares the cache.
+func NewQueryProcessor(tr *Trace) *QueryProcessor {
+	return &QueryProcessor{
+		tr:        tr,
+		distCache: map[string]dist.Dist{},
+		pairCache: map[string]float64{},
+	}
+}
+
+// QueryCount implements dist.Oracle.
+func (q *QueryProcessor) QueryCount() int { return q.queries }
+
+// Scans reports how many full trace scans were performed (cache misses).
+func (q *QueryProcessor) Scans() int { return q.scans }
+
+// FieldDist implements dist.Oracle. Distributions for low-cardinality
+// fields are exact (one point piece per value); high-cardinality fields are
+// bucketed into up to 64 quantile ranges.
+func (q *QueryProcessor) FieldDist(field string) (dist.Dist, bool) {
+	q.queries++
+	if d, ok := q.distCache[field]; ok {
+		return d, true
+	}
+	q.scans++
+	vals, counts := q.tr.FieldValues(field)
+	if len(vals) == 0 {
+		return dist.Dist{}, false
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	var pieces []dist.Piece
+	if len(vals) <= 64 {
+		for i, v := range vals {
+			pieces = append(pieces, dist.Piece{Lo: v, Hi: v, Mass: float64(counts[i]) / float64(total)})
+		}
+	} else {
+		// Quantile buckets: ~equal sample mass per bucket, uniform inside.
+		perBucket := (total + 63) / 64
+		i := 0
+		for i < len(vals) {
+			lo := vals[i]
+			mass := 0
+			j := i
+			for j < len(vals) && mass < perBucket {
+				mass += counts[j]
+				j++
+			}
+			hi := vals[j-1]
+			pieces = append(pieces, dist.Piece{Lo: lo, Hi: hi, Mass: float64(mass) / float64(total)})
+			i = j
+		}
+	}
+	d, err := dist.FromPieces(pieces)
+	if err != nil {
+		return dist.Dist{}, false
+	}
+	q.distCache[field] = d
+	return d, true
+}
+
+// FieldDistNoCache recomputes a marginal bypassing the cache (for the
+// query-cache ablation).
+func (q *QueryProcessor) FieldDistNoCache(field string) (dist.Dist, bool) {
+	delete(q.distCache, field)
+	return q.FieldDist(field)
+}
+
+// PairEqualProb implements dist.Oracle: the fraction of within-flow
+// adjacent packet pairs whose field values coincide. For "seq" this is the
+// retransmission ratio; for IPD-like fields it measures timing regularity.
+func (q *QueryProcessor) PairEqualProb(field string) (float64, bool) {
+	q.queries++
+	if p, ok := q.pairCache[field]; ok {
+		return p, true
+	}
+	q.scans++
+	last := map[string]uint64{}
+	pairs, equal := 0, 0
+	for i := range q.tr.Packets {
+		p := &q.tr.Packets[i]
+		v, ok := p.Field(field)
+		if !ok {
+			continue
+		}
+		id := p.FlowID()
+		if prev, seen := last[id]; seen {
+			pairs++
+			if prev == v {
+				equal++
+			}
+		}
+		last[id] = v
+	}
+	if pairs == 0 {
+		return 0, false
+	}
+	pe := float64(equal) / float64(pairs)
+	q.pairCache[field] = pe
+	return pe, true
+}
+
+// RatioWhere returns the fraction of packets for which pred holds — the
+// general-purpose query form ("what fraction of traffic is TCP SYN?").
+func (q *QueryProcessor) RatioWhere(pred func(*Packet) bool) float64 {
+	q.queries++
+	q.scans++
+	if len(q.tr.Packets) == 0 {
+		return 0
+	}
+	n := 0
+	for i := range q.tr.Packets {
+		if pred(&q.tr.Packets[i]) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(q.tr.Packets))
+}
+
+// TopValues returns the k most frequent values of a field, most frequent
+// first (used to pick NetCache hot keys and similar workload facts).
+func (q *QueryProcessor) TopValues(field string, k int) []uint64 {
+	q.queries++
+	q.scans++
+	vals, counts := q.tr.FieldValues(field)
+	type vc struct {
+		v uint64
+		c int
+	}
+	vcs := make([]vc, len(vals))
+	for i := range vals {
+		vcs[i] = vc{vals[i], counts[i]}
+	}
+	sort.Slice(vcs, func(i, j int) bool {
+		if vcs[i].c != vcs[j].c {
+			return vcs[i].c > vcs[j].c
+		}
+		return vcs[i].v < vcs[j].v
+	})
+	if k > len(vcs) {
+		k = len(vcs)
+	}
+	out := make([]uint64, k)
+	for i := 0; i < k; i++ {
+		out[i] = vcs[i].v
+	}
+	return out
+}

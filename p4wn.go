@@ -1,0 +1,117 @@
+// Package p4wn is the public facade of the P4wn reproduction: a
+// probabilistic profiler for stateful data-plane programs with an
+// adversarial test generator and a backtesting engine, reimplementing
+// "Probabilistic Profiling of Stateful Data Planes for Adversarial Testing"
+// (ASPLOS 2021) in pure Go.
+//
+// Typical use:
+//
+//	prog := p4wn.System("Blink (S5)").Build()
+//	oracle := p4wn.TraceOracle(p4wn.GenerateTraffic(p4wn.TrafficOptions{Seed: 1}))
+//	profile, _ := p4wn.Profile(prog, oracle, p4wn.ProfileOptions{Seed: 1})
+//	rare := profile.Nodes[0] // lowest-probability code block
+//	adv, _ := p4wn.Adversarial(prog, rare.Label, p4wn.AdversarialOptions{})
+//	metrics := p4wn.Backtest(prog, p4wn.Amplify(adv, 10, 1000))
+package p4wn
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/dut"
+	"repro/internal/ir"
+	"repro/internal/programs"
+	"repro/internal/testgen"
+	"repro/internal/trace"
+)
+
+// Re-exported building blocks. The ir package's builder functions (ir.F,
+// ir.C, ir.If2, ...) are used directly for custom program construction; see
+// examples/quickstart.
+type (
+	// Program is a built data-plane program.
+	Program = ir.Program
+	// ProfileOptions tunes the profiler (see core.Options).
+	ProfileOptions = core.Options
+	// ProfileResult is a probabilistic profile, lowest-probability blocks
+	// first.
+	ProfileResult = core.Profile
+	// Oracle answers traffic-composition queries.
+	Oracle = dist.Oracle
+	// TrafficOptions parameterizes the synthetic workload generator.
+	TrafficOptions = trace.GenOptions
+	// Traffic is a packet trace.
+	Traffic = trace.Trace
+	// AdversarialOptions tunes test-sequence generation.
+	AdversarialOptions = testgen.Options
+	// AdversarialTrace is a generated adversarial packet sequence.
+	AdversarialTrace = testgen.AdvTrace
+	// Metrics is a backtesting time series.
+	Metrics = dut.Metrics
+	// SystemMeta describes one program-zoo entry.
+	SystemMeta = programs.Meta
+)
+
+// Systems lists the evaluation program zoo (Vera's stateless set, S1–S15,
+// and the §6 port-knocking NF).
+func Systems() []SystemMeta { return programs.All() }
+
+// System returns a zoo entry by its paper name (e.g. "Blink (S5)").
+// It panics on unknown names; use LookupSystem to probe.
+func System(name string) SystemMeta {
+	m, ok := programs.ByName(name)
+	if !ok {
+		panic(fmt.Sprintf("p4wn: unknown system %q (see p4wn.Systems())", name))
+	}
+	return m
+}
+
+// LookupSystem returns a zoo entry by name.
+func LookupSystem(name string) (SystemMeta, bool) { return programs.ByName(name) }
+
+// Profile computes the probabilistic profile of a program: the steady-state
+// per-packet probability of every code block, via symbolic execution with
+// model counting, telescoping, greybox data-store analysis, and a concrete
+// sampling fallback. A nil oracle profiles against the uniform header space.
+func Profile(prog *Program, oracle Oracle, opt ProfileOptions) (*ProfileResult, error) {
+	return core.ProbProf(prog, oracle, opt)
+}
+
+// GenerateTraffic synthesizes a CAIDA-like workload.
+func GenerateTraffic(opt TrafficOptions) *Traffic { return trace.Generate(opt) }
+
+// TraceOracle pins a traffic trace and answers the profiler's interactive
+// queries from it (marginal distributions, pair-equality ratios), caching
+// results.
+func TraceOracle(tr *Traffic) Oracle { return trace.NewQueryProcessor(tr) }
+
+// StaticOracle builds an operator-specified traffic profile.
+func StaticOracle() *dist.Profile { return dist.NewProfile() }
+
+// Adversarial generates a concrete packet sequence that exercises the code
+// block with the given label.
+func Adversarial(prog *Program, label string, opt AdversarialOptions) (*AdversarialTrace, error) {
+	node := prog.NodeByLabel(label)
+	if node == nil {
+		return nil, fmt.Errorf("p4wn: program %q has no block labeled %q", prog.Name, label)
+	}
+	return testgen.Generate(prog, node.ID, opt)
+}
+
+// Amplify expands an adversarial seed sequence into a sustained workload of
+// the given duration and rate, rotating fresh key material per cycle where
+// that is what sustains the attack.
+func Amplify(adv *AdversarialTrace, seconds, pps int) *Traffic {
+	return testgen.WorkloadFor(adv, seconds, pps)
+}
+
+// Backtest replays a trace through a fresh software switch and returns
+// per-second metrics (port traffic, CPU punts, digests, recirculations,
+// backend load).
+func Backtest(prog *Program, tr *Traffic) *Metrics {
+	return dut.New(prog, dut.Config{}).Replay(tr)
+}
+
+// NewSwitch builds a standalone software switch for custom experiments.
+func NewSwitch(prog *Program) *dut.Switch { return dut.New(prog, dut.Config{}) }

@@ -1,0 +1,71 @@
+package p4wn_test
+
+import (
+	"testing"
+
+	p4wn "repro"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	// The quickstart flow: profile a system, pick an edge case, generate
+	// an adversarial trace, replay it.
+	m := p4wn.System("counter (S12)")
+	prog := m.Build()
+
+	oracle := p4wn.TraceOracle(p4wn.GenerateTraffic(p4wn.TrafficOptions{Seed: 1, Packets: 5000}))
+	prof, err := p4wn.Profile(prog, oracle, p4wn.ProfileOptions{Seed: 1, SampleBudget: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Nodes) == 0 {
+		t.Fatal("empty profile")
+	}
+
+	adv, err := p4wn.Adversarial(prog, "tcp_sample", p4wn.AdversarialOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adv.Validated {
+		t.Fatal("adversarial trace did not validate")
+	}
+
+	workload := p4wn.Amplify(adv, 3, 200)
+	metrics := p4wn.Backtest(prog, workload)
+	if metrics.Totals().Mirrors == 0 {
+		t.Fatal("adversarial replay should trigger mirrors")
+	}
+}
+
+func TestFacadeSystemsRegistry(t *testing.T) {
+	if len(p4wn.Systems()) < 25 {
+		t.Fatalf("zoo too small: %d", len(p4wn.Systems()))
+	}
+	if _, ok := p4wn.LookupSystem("nope"); ok {
+		t.Fatal("bogus lookup succeeded")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("System should panic on unknown name")
+		}
+	}()
+	p4wn.System("nope")
+}
+
+func TestFacadeStaticOracle(t *testing.T) {
+	prog := p4wn.System("copy-to-cpu").Build()
+	oracle := p4wn.StaticOracle().SetPairEq("seq", 0.02)
+	prof, err := p4wn.Profile(prog, oracle, p4wn.ProfileOptions{Seed: 1, DisableSampling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prof.Converged {
+		t.Fatal("stateless profile should converge")
+	}
+}
+
+func TestFacadeAdversarialUnknownLabel(t *testing.T) {
+	prog := p4wn.System("copy-to-cpu").Build()
+	if _, err := p4wn.Adversarial(prog, "missing", p4wn.AdversarialOptions{}); err == nil {
+		t.Fatal("unknown label should error")
+	}
+}
