@@ -3,6 +3,9 @@
 // software switch.
 //
 //	p4wn list
+//	p4wn lint -prog "Blink (S5)" [-deps]
+//	p4wn lint -file my_program.p4w
+//	p4wn lint -all
 //	p4wn profile -prog "Blink (S5)" [-uniform] [-seed 1]
 //	p4wn profile -file my_program.p4w
 //	p4wn adversarial -prog "Blink (S5)" -target reroute [-out adv.pcap]
@@ -43,6 +46,8 @@ func main() {
 	uniform := fs.Bool("uniform", false, "profile against the uniform header space instead of a synthetic trace")
 	seconds := fs.Int("seconds", 10, "amplified workload duration (adversarial)")
 	pps := fs.Int("pps", 1000, "amplified workload rate (adversarial)")
+	lintAll := fs.Bool("all", false, "lint every zoo program (lint)")
+	lintDeps := fs.Bool("deps", false, "print the state-dependency graph (lint)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -50,6 +55,8 @@ func main() {
 	switch cmd {
 	case "list":
 		cmdList()
+	case "lint":
+		cmdLint(*progName, *progFile, *lintAll, *lintDeps)
 	case "profile":
 		cmdProfile(*progName, *progFile, *seed, *uniform)
 	case "adversarial":
@@ -65,7 +72,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: p4wn <list|profile|adversarial|backtest|monitor> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: p4wn <list|lint|profile|adversarial|backtest|monitor> [flags]")
 }
 
 func fatal(err error) {
@@ -84,19 +91,34 @@ func mustProgram(name string) p4wn.SystemMeta {
 	return m
 }
 
-// loadProgram resolves -prog / -file into a built program plus a workload
-// generator for its oracle.
-func loadProgram(name, file string, seed int64) (*p4wn.Program, p4wn.Oracle) {
+// buildProgram resolves -prog / -file into a built program. When lenient is
+// set, a -file program is compiled without reference validation so the lint
+// verifier can report every problem instead of stopping at the first.
+func buildProgram(name, file string, lenient bool) *p4wn.Program {
 	if file != "" {
 		src, err := os.ReadFile(file)
 		if err != nil {
 			fatal(err)
 		}
-		prog, err := p4c.Parse(string(src))
+		parse := p4c.Parse
+		if lenient {
+			parse = p4c.ParseUnvalidated
+		}
+		prog, err := parse(string(src))
 		if err != nil {
 			fatal(err)
 		}
-		return prog, p4wn.TraceOracle(p4wn.GenerateTraffic(p4wn.TrafficOptions{Seed: seed}))
+		return prog
+	}
+	return mustProgram(name).Build()
+}
+
+// loadProgram resolves -prog / -file into a built program plus a workload
+// generator for its oracle.
+func loadProgram(name, file string, seed int64) (*p4wn.Program, p4wn.Oracle) {
+	if file != "" {
+		return buildProgram(name, file, false),
+			p4wn.TraceOracle(p4wn.GenerateTraffic(p4wn.TrafficOptions{Seed: seed}))
 	}
 	m := mustProgram(name)
 	return m.Build(), p4wn.TraceOracle(p4wn.GenerateTraffic(m.Workload(seed)))
@@ -123,6 +145,35 @@ func cmdList() {
 			st = "yes"
 		}
 		fmt.Printf("%-20s %6d %9s %s\n", m.Name, m.PaperLoC, st, structs)
+	}
+}
+
+// cmdLint runs the static-analysis suite and prints every diagnostic with
+// its block label. The exit code is non-zero when any program has
+// error-severity findings (malformed IR).
+func cmdLint(name, file string, all, deps bool) {
+	var progs []*p4wn.Program
+	switch {
+	case all:
+		for _, m := range p4wn.Systems() {
+			progs = append(progs, m.Build())
+		}
+	case name != "" || file != "":
+		progs = append(progs, buildProgram(name, file, true))
+	default:
+		fatal(fmt.Errorf("lint needs -prog, -file, or -all"))
+	}
+	errors := 0
+	for _, prog := range progs {
+		r := p4wn.Lint(prog)
+		fmt.Print(r)
+		errors += r.Errors()
+		if deps && r.Deps != nil {
+			fmt.Print(r.Deps)
+		}
+	}
+	if errors > 0 {
+		os.Exit(1)
 	}
 }
 

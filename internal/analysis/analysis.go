@@ -1,0 +1,175 @@
+// Package analysis implements static analysis over the IR: a well-formedness
+// verifier with structured diagnostics (replacing panic-on-error checking),
+// a lint pass suite (def-use chains, constant/interval propagation,
+// state-dependency extraction), and dead-branch detection whose result feeds
+// the profiler's pruning hook.
+//
+// All passes are conservative with respect to execution: a block is reported
+// unreachable or statically dead only when no concrete packet sequence can
+// exercise it. The soundness fuzz test in soundness_test.go checks this
+// invariant against the symbolic engine over randomly generated programs.
+//
+// The paper's pipeline has no pre-analysis stage — every syntactic branch is
+// handed to the symbolic engine (and KLEE pays for it in path explosion).
+// This package is a repo-over-paper extension in the spirit of P4Testgen's
+// verified midend: it rejects malformed programs up front and lets the
+// profiler skip provably-dead branches, reporting them as probability-0
+// blocks without spending solver time.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+const (
+	// SevError marks a malformed program; `p4wn lint` exits non-zero.
+	SevError Severity = iota
+	// SevWarn marks suspicious but executable code (dead branches, dead
+	// stores, out-of-range constants).
+	SevWarn
+	// SevInfo marks notable but benign findings.
+	SevInfo
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarn:
+		return "warn"
+	}
+	return "info"
+}
+
+// Diagnostic is one finding of one pass.
+type Diagnostic struct {
+	Pass     string // "verify", "reach", "defuse", "interval"
+	Severity Severity
+	// Node is the CFG node the finding anchors to, -1 for program-level
+	// findings; Block is its label ("" when Node < 0).
+	Node  int
+	Block string
+	Msg   string
+}
+
+func (d Diagnostic) String() string {
+	loc := "program"
+	if d.Node >= 0 {
+		loc = fmt.Sprintf("%s(#%d)", d.Block, d.Node)
+	}
+	return fmt.Sprintf("%-5s %-8s %s: %s", d.Severity, d.Pass, loc, d.Msg)
+}
+
+// Report is the combined result of all passes over one program.
+type Report struct {
+	Program string
+	Diags   []Diagnostic
+
+	// Unreachable are CFG nodes with no path from the entry block
+	// (e.g. actions of a table that is never applied).
+	Unreachable map[int]bool
+	// Dead are nodes only reachable through statically-infeasible branches
+	// (plus nodes dominated by such). Disjoint from Unreachable.
+	Dead map[int]bool
+	// Deps is the state-dependency graph (which blocks read/write which
+	// register, array, hash table, Bloom filter, or sketch).
+	Deps *DepGraph
+}
+
+// PruneSet returns every node the profiler may skip: CFG-unreachable nodes
+// plus statically-dead ones. The returned map is freshly allocated.
+func (r *Report) PruneSet() map[int]bool {
+	out := make(map[int]bool, len(r.Unreachable)+len(r.Dead))
+	for id := range r.Unreachable {
+		out[id] = true
+	}
+	for id := range r.Dead {
+		out[id] = true
+	}
+	return out
+}
+
+// Errors counts error-severity diagnostics.
+func (r *Report) Errors() int { return r.count(SevError) }
+
+// Warnings counts warn-severity diagnostics.
+func (r *Report) Warnings() int { return r.count(SevWarn) }
+
+func (r *Report) count(s Severity) int {
+	n := 0
+	for _, d := range r.Diags {
+		if d.Severity == s {
+			n++
+		}
+	}
+	return n
+}
+
+// HasErrors reports whether any pass found a malformed construct.
+func (r *Report) HasErrors() bool { return r.Errors() > 0 }
+
+func (r *Report) add(pass string, sev Severity, node int, label, format string, args ...interface{}) {
+	r.Diags = append(r.Diags, Diagnostic{
+		Pass: pass, Severity: sev, Node: node, Block: label,
+		Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+func (r *Report) addNode(pass string, sev Severity, b *ir.Block, format string, args ...interface{}) {
+	r.add(pass, sev, b.ID, b.Label, format, args...)
+}
+
+// String renders the report: a one-line summary followed by diagnostics
+// sorted by severity then node.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "lint %s: %d error(s), %d warning(s), %d dead block(s), %d unreachable\n",
+		r.Program, r.Errors(), r.Warnings(), len(r.Dead), len(r.Unreachable))
+	diags := append([]Diagnostic(nil), r.Diags...)
+	sort.SliceStable(diags, func(i, j int) bool {
+		if diags[i].Severity != diags[j].Severity {
+			return diags[i].Severity < diags[j].Severity
+		}
+		return diags[i].Node < diags[j].Node
+	})
+	for _, d := range diags {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return b.String()
+}
+
+// Analyze runs every pass over a built program: the verifier, CFG
+// reachability, def-use linting, and interval-based dead-branch detection.
+func Analyze(p *ir.Program) *Report {
+	r := &Report{
+		Program:     p.Name,
+		Unreachable: map[int]bool{},
+		Dead:        map[int]bool{},
+	}
+	verify(p, r)
+	reachability(p, r)
+	defUse(p, r)
+	intervals(p, r)
+	return r
+}
+
+// DeadBlocks is the profiler's pruning hook: it returns the set of CFG nodes
+// that no packet sequence can exercise (unreachable plus statically dead).
+// It runs only the passes needed for pruning.
+func DeadBlocks(p *ir.Program) map[int]bool {
+	r := &Report{
+		Program:     p.Name,
+		Unreachable: map[int]bool{},
+		Dead:        map[int]bool{},
+	}
+	reachability(p, r)
+	intervals(p, r)
+	return r.PruneSet()
+}

@@ -1,0 +1,151 @@
+package analysis
+
+import "repro/internal/ir"
+
+// entryID returns the CFG node ID of the program's entry block.
+func entryID(p *ir.Program) int {
+	if root, ok := p.Root.(*ir.Block); ok {
+		return root.ID
+	}
+	return 0
+}
+
+// reachableFrom computes the set of nodes reachable from entry by forward
+// BFS over the CFG (the per-packet back-edge is included but irrelevant:
+// it only leads back to the entry).
+func reachableFrom(g *ir.CFG, entry int) []bool {
+	seen := make([]bool, g.NumNodes())
+	if entry >= g.NumNodes() {
+		return seen
+	}
+	queue := []int{entry}
+	seen[entry] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Succ(u) {
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return seen
+}
+
+// dominators computes the immediate-dominator tree of the reachable CFG
+// using the Cooper–Harvey–Kennedy iterative algorithm over a reverse
+// postorder. idom[entry] == entry; unreachable nodes get -1.
+func dominators(g *ir.CFG, entry int) []int {
+	n := g.NumNodes()
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	if n == 0 || entry >= n {
+		return idom
+	}
+
+	// Reverse postorder over the reachable subgraph.
+	order := make([]int, 0, n) // postorder
+	rpoNum := make([]int, n)   // node -> RPO index
+	visited := make([]bool, n)
+	var dfs func(u int)
+	dfs = func(u int) {
+		visited[u] = true
+		for _, v := range g.Succ(u) {
+			if !visited[v] {
+				dfs(v)
+			}
+		}
+		order = append(order, u)
+	}
+	dfs(entry)
+	rpo := make([]int, 0, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		rpo = append(rpo, order[i])
+	}
+	for i, u := range rpo {
+		rpoNum[u] = i
+	}
+
+	preds := make([][]int, n)
+	for u := 0; u < n; u++ {
+		if !visited[u] {
+			continue
+		}
+		for _, v := range g.Succ(u) {
+			preds[v] = append(preds[v], u)
+		}
+	}
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	idom[entry] = entry
+	for changed := true; changed; {
+		changed = false
+		for _, u := range rpo {
+			if u == entry {
+				continue
+			}
+			newIdom := -1
+			for _, p := range preds[u] {
+				if idom[p] < 0 {
+					continue // predecessor not yet processed
+				}
+				if newIdom < 0 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom >= 0 && idom[u] != newIdom {
+				idom[u] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// dominatedBy reports whether node n is strictly dominated by d (every path
+// from the entry to n passes through d).
+func dominatedBy(idom []int, n, d int) bool {
+	if n < 0 || n >= len(idom) || idom[n] < 0 {
+		return false
+	}
+	for u := idom[n]; ; u = idom[u] {
+		if u == d {
+			return true
+		}
+		if u == idom[u] || idom[u] < 0 { // reached the entry
+			return false
+		}
+	}
+}
+
+// reachability flags CFG nodes with no path from the entry block — typically
+// actions of a table that is never applied, which the switch can never
+// execute.
+func reachability(p *ir.Program, r *Report) {
+	g := ir.BuildCFG(p)
+	entry := entryID(p)
+	seen := reachableFrom(g, entry)
+	for _, b := range p.Nodes() {
+		if !seen[b.ID] {
+			r.Unreachable[b.ID] = true
+			r.addNode("reach", SevWarn, b,
+				"block is unreachable from the entry (no CFG path can execute it)")
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/programs"
+)
+
+// TestZooLintClean checks the acceptance criterion that every shipped zoo
+// program lints clean: the verifier finds no malformed constructs and the
+// dead-branch passes report no false positives (the zoo programs are all
+// hand-written to have only live, reachable code).
+func TestZooLintClean(t *testing.T) {
+	for _, m := range programs.All() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			p := m.Build()
+			r := analysis.Analyze(p)
+			if r.Errors() > 0 {
+				t.Errorf("program %q has %d verifier error(s):\n%s", m.Name, r.Errors(), r)
+			}
+			for _, d := range r.Diags {
+				if d.Severity == analysis.SevWarn {
+					t.Errorf("program %q: unexpected warning: %s", m.Name, d)
+				}
+			}
+			if len(r.Unreachable) > 0 || len(r.Dead) > 0 {
+				t.Errorf("program %q: false-positive prune set: unreachable=%v dead=%v",
+					m.Name, r.Unreachable, r.Dead)
+			}
+		})
+	}
+}

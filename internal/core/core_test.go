@@ -8,9 +8,10 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/ir"
+	"repro/internal/testutil"
 )
 
-func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+func almostEq(a, b, tol float64) bool { return testutil.ApproxEqual(a, b, tol, 0) }
 
 // counterProg mirrors S12 (counter.p4): count TCP/UDP and mirror every
 // N-th packet of each kind.

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/dist"
 	"repro/internal/ir"
 	"repro/internal/mc"
@@ -50,6 +51,12 @@ type Options struct {
 	DisableMerge bool
 	// DisableSampling turns off the concrete sampling fallback.
 	DisableSampling bool
+	// DisablePrune turns off static dead-branch pruning (repo-over-paper
+	// extension; the paper's pipeline symbolically explores every syntactic
+	// branch). With pruning on, blocks the analysis package proves
+	// unreachable are reported as probability-0 without spending solver
+	// time, and the engine discards paths before forking into them.
+	DisablePrune bool
 
 	// Locality overrides greybox key locality.
 	Locality float64
@@ -110,6 +117,9 @@ const (
 	SrcSampled
 	// SrcUnreached: never observed; probability is zero.
 	SrcUnreached
+	// SrcPruned: statically proven dead by the analysis package;
+	// probability is exactly zero and no exploration was spent on it.
+	SrcPruned
 )
 
 func (s Source) String() string {
@@ -120,6 +130,8 @@ func (s Source) String() string {
 		return "telescope"
 	case SrcSampled:
 		return "sampled"
+	case SrcPruned:
+		return "pruned"
 	}
 	return "unreached"
 }
@@ -142,6 +154,7 @@ type Stats struct {
 	Paths          int
 	TelescopedNode int
 	SampledNodes   int
+	PrunedNodes    int // blocks reported probability-0 by static analysis
 	Counter        mc.Stats
 	Engine         sym.Stats
 	OracleQueries  int
@@ -197,6 +210,14 @@ func ProbProf(progIn *ir.Program, oracle dist.Oracle, optIn Options) (*Profile, 
 
 	numNodes := len(progIn.Nodes())
 
+	// Static pre-analysis (repo-over-paper extension): blocks proven
+	// unreachable or statically dead are reported as probability-0 up front
+	// and the engine never forks into them.
+	dead := map[int]bool{}
+	if !opt.DisablePrune {
+		dead = analysis.DeadBlocks(progIn)
+	}
+
 	// Telescoping pass (Figure 3's Telescope): estimate counter-guarded
 	// deep blocks from a short periodic probe. It runs under its own
 	// budget so a branchy probe cannot starve the main loop.
@@ -213,6 +234,7 @@ func ProbProf(progIn *ir.Program, oracle dist.Oracle, optIn Options) (*Profile, 
 		MaxPaths: opt.MaxPaths,
 		Deadline: deadline,
 		Locality: opt.Locality,
+		Dead:     dead,
 	})
 	counter := mc.NewCounter(engine.Space, oracle)
 	counter.Seed = opt.Seed
@@ -290,7 +312,7 @@ func ProbProf(progIn *ir.Program, oracle dist.Oracle, optIn Options) (*Profile, 
 	for _, blk := range progIn.Nodes() {
 		_, tele := teleEst[blk.ID]
 		_, dist := distEst[blk.ID]
-		if !tele && !dist && !everSeen[blk.ID] {
+		if !tele && !dist && !everSeen[blk.ID] && !dead[blk.ID] {
 			unreached++
 		}
 	}
@@ -308,7 +330,10 @@ func ProbProf(progIn *ir.Program, oracle dist.Oracle, optIn Options) (*Profile, 
 	coverage := 0
 	for _, blk := range progIn.Nodes() {
 		np := NodeProb{ID: blk.ID, Label: blk.Label, P: prob.Zero(), Source: SrcUnreached}
-		if te, ok := teleEst[blk.ID]; ok && !te.IsZero() {
+		if dead[blk.ID] {
+			np.Source = SrcPruned
+			stats.PrunedNodes++
+		} else if te, ok := teleEst[blk.ID]; ok && !te.IsZero() {
 			np.P = te
 			np.Source = SrcTelescope
 			stats.TelescopedNode++
@@ -366,6 +391,12 @@ func (pf *Profile) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "profile of %s: %d blocks, coverage %.0f%%, converged=%v\n",
 		pf.Program, len(pf.Nodes), pf.Coverage*100, pf.Converged)
+	if pf.Stats.PrunedNodes > 0 || pf.Stats.Engine.PrunedPaths > 0 {
+		explored := pf.Stats.Paths
+		fmt.Fprintf(&b, "pruning: %d dead block(s) skipped; paths %d -> %d (%d discarded at dead blocks)\n",
+			pf.Stats.PrunedNodes, explored+pf.Stats.Engine.PrunedPaths, explored,
+			pf.Stats.Engine.PrunedPaths)
+	}
 	fmt.Fprintf(&b, "%-6s %-28s %-14s %s\n", "rank", "block", "P(per pkt)", "source")
 	for i, n := range pf.Nodes {
 		fmt.Fprintf(&b, "%-6d %-28s %-14s %s\n", i+1, n.Label, n.P, n.Source)

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ir"
+)
+
+// pruneProg has a statically-dead branch: the inner proto == TCP test sits
+// under a proto == UDP guard. Without pruning the engine forks on the inner
+// condition (clone + two feasibility checks per path per packet) before the
+// solver kills the contradictory arm; with pruning it skips the fork.
+func pruneProg(t *testing.T) *ir.Program {
+	t.Helper()
+	p, err := (&ir.Program{
+		Name: "prune-demo",
+		Root: ir.Body(
+			ir.If2(ir.Eq(ir.F("proto"), ir.C(ir.ProtoUDP)),
+				ir.Blk("udp",
+					ir.If2(ir.Eq(ir.F("proto"), ir.C(ir.ProtoTCP)),
+						ir.Blk("dead", ir.ToCPU()),
+						ir.Blk("live", ir.Fwd(2)))),
+				ir.Blk("other", ir.Fwd(1))),
+		),
+	}).Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return p
+}
+
+func profileOpts() Options {
+	return Options{
+		MaxIters:         4,
+		Timeout:          5 * time.Second,
+		DisableTelescope: true,
+		DisableSampling:  true,
+		Seed:             1,
+	}
+}
+
+// The acceptance check for the pruning hook: a program with a statically-dead
+// branch explores strictly fewer forks with pruning on than off, reports the
+// dead block as probability-0 with source "pruned", and leaves every live
+// block's estimate unchanged.
+func TestPruningReducesForks(t *testing.T) {
+	optOn := profileOpts()
+	optOff := profileOpts()
+	optOff.DisablePrune = true
+
+	pfOn, err := ProbProf(pruneProg(t), nil, optOn)
+	if err != nil {
+		t.Fatalf("ProbProf(prune on): %v", err)
+	}
+	pfOff, err := ProbProf(pruneProg(t), nil, optOff)
+	if err != nil {
+		t.Fatalf("ProbProf(prune off): %v", err)
+	}
+
+	if pfOn.Stats.Engine.Forks >= pfOff.Stats.Engine.Forks {
+		t.Errorf("forks with pruning (%d) not below forks without (%d)",
+			pfOn.Stats.Engine.Forks, pfOff.Stats.Engine.Forks)
+	}
+	if pfOn.Stats.Engine.PrunedPaths == 0 {
+		t.Error("no paths pruned despite dead branch")
+	}
+	if pfOn.Stats.PrunedNodes == 0 {
+		t.Error("no nodes attributed to pruning")
+	}
+
+	deadOn, ok := pfOn.ByLabel("dead")
+	if !ok {
+		t.Fatal("dead block missing from profile")
+	}
+	if deadOn.Source != SrcPruned || !deadOn.P.IsZero() {
+		t.Errorf("dead block: source=%v P=%v, want pruned with P=0", deadOn.Source, deadOn.P)
+	}
+
+	// Pruning must not change any live block's probability.
+	for _, label := range []string{"udp", "live", "other", "entry"} {
+		on, ok1 := pfOn.ByLabel(label)
+		off, ok2 := pfOff.ByLabel(label)
+		if !ok1 || !ok2 {
+			t.Fatalf("block %q missing from a profile", label)
+		}
+		if diff := on.P.Float() - off.P.Float(); diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("block %q probability changed by pruning: %v vs %v", label, on.P, off.P)
+		}
+	}
+
+	// The profile output carries the before/after path-count line.
+	if s := pfOn.String(); !strings.Contains(s, "pruning:") ||
+		!strings.Contains(s, "dead block(s) skipped") {
+		t.Errorf("profile output missing pruning summary:\n%s", s)
+	}
+}
+
+// Unreached-but-live blocks must still fall through to the sampling phase,
+// not be confused with pruned ones: a register-guarded rare block is not in
+// the prune set.
+func TestPruneSetExcludesStatefulBranches(t *testing.T) {
+	p, err := (&ir.Program{
+		Name: "stateful-live",
+		Regs: []ir.RegDecl{{Name: "n", Bits: 32}},
+		Root: ir.Body(
+			ir.Add1("n"),
+			ir.If2(ir.Gt(ir.R("n"), ir.C(2)),
+				ir.Blk("deep", ir.ToCPU()),
+				ir.Blk("shallow", ir.Fwd(1))),
+		),
+	}).Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	pf, err := ProbProf(p, nil, profileOpts())
+	if err != nil {
+		t.Fatalf("ProbProf: %v", err)
+	}
+	deep, ok := pf.ByLabel("deep")
+	if !ok {
+		t.Fatal("deep block missing")
+	}
+	if deep.Source == SrcPruned {
+		t.Error("register-guarded block wrongly pruned")
+	}
+	if deep.P.IsZero() {
+		t.Errorf("deep block should be reached after 3 packets, got P=%v", deep.P)
+	}
+}

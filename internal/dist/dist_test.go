@@ -1,13 +1,14 @@
 package dist
 
 import (
-	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/testutil"
 )
 
-func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+func almostEq(a, b, tol float64) bool { return testutil.ApproxEqual(a, b, tol, 0) }
 
 func TestUniform(t *testing.T) {
 	d := Uniform(8)

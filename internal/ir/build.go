@@ -10,6 +10,20 @@ import (
 // Build must be called exactly once before the program is executed or
 // analyzed; it returns the program to allow chaining.
 func (p *Program) Build() (*Program, error) {
+	return p.build(true)
+}
+
+// BuildUnvalidated finalizes a program without reference validation: blocks
+// are labeled and numbered and lookup maps are filled, but unknown fields,
+// registers, tables, or out-of-range operators are tolerated. It exists so
+// the analysis verifier can walk a malformed program and report every
+// problem as a structured diagnostic instead of stopping at Build's first
+// error. Programs built this way must not be executed.
+func (p *Program) BuildUnvalidated() (*Program, error) {
+	return p.build(false)
+}
+
+func (p *Program) build(validated bool) (*Program, error) {
 	if p.built {
 		return p, fmt.Errorf("ir: program %q already built", p.Name)
 	}
@@ -21,21 +35,25 @@ func (p *Program) Build() (*Program, error) {
 	}
 	p.fieldByName = make(map[string]Field, len(p.Fields))
 	for _, f := range p.Fields {
-		if f.Bits <= 0 || f.Bits > 64 {
-			return nil, fmt.Errorf("ir: field %q has invalid width %d", f.Name, f.Bits)
-		}
-		if _, dup := p.fieldByName[f.Name]; dup {
-			return nil, fmt.Errorf("ir: duplicate field %q", f.Name)
+		if validated {
+			if f.Bits <= 0 || f.Bits > 64 {
+				return nil, fmt.Errorf("ir: field %q has invalid width %d", f.Name, f.Bits)
+			}
+			if _, dup := p.fieldByName[f.Name]; dup {
+				return nil, fmt.Errorf("ir: duplicate field %q", f.Name)
+			}
 		}
 		p.fieldByName[f.Name] = f
 	}
 	p.regByName = make(map[string]RegDecl, len(p.Regs))
 	for _, r := range p.Regs {
-		if r.Bits <= 0 || r.Bits > 64 {
-			return nil, fmt.Errorf("ir: register %q has invalid width %d", r.Name, r.Bits)
-		}
-		if _, dup := p.regByName[r.Name]; dup {
-			return nil, fmt.Errorf("ir: duplicate register %q", r.Name)
+		if validated {
+			if r.Bits <= 0 || r.Bits > 64 {
+				return nil, fmt.Errorf("ir: register %q has invalid width %d", r.Name, r.Bits)
+			}
+			if _, dup := p.regByName[r.Name]; dup {
+				return nil, fmt.Errorf("ir: duplicate register %q", r.Name)
+			}
 		}
 		p.regByName[r.Name] = r
 	}
@@ -67,9 +85,11 @@ func (p *Program) Build() (*Program, error) {
 		return nil, n.err
 	}
 	p.built = true
-	if err := p.validate(); err != nil {
-		p.built = false
-		return nil, err
+	if validated {
+		if err := p.validate(); err != nil {
+			p.built = false
+			return nil, err
+		}
 	}
 	return p, nil
 }

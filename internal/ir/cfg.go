@@ -13,7 +13,11 @@ type CFG struct {
 // BuildCFG computes the control-flow graph of a built program.
 func BuildCFG(p *Program) *CFG {
 	g := &CFG{prog: p, succ: make([][]int, len(p.nodes))}
-	// Structural edges: parent block -> child arm blocks.
+	// Structural edges: parent block -> child arm blocks. applying guards
+	// against unbounded recursion when a table's action re-applies the same
+	// table (the verifier reports that as an error, but the CFG must still
+	// terminate so the report can be produced).
+	applying := map[string]bool{}
 	var visit func(s Stmt, owner int)
 	visit = func(s Stmt, owner int) {
 		if s == nil {
@@ -41,11 +45,14 @@ func BuildCFG(p *Program) *CFG {
 			visit(t.OnTrue, owner)
 			visit(t.OnFalse, owner)
 		case *TableApply:
-			if tbl, ok := p.Table(t.Table); ok {
+			if tbl, ok := p.Table(t.Table); ok && !applying[t.Table] {
+				applying[t.Table] = true
 				for _, e := range tbl.Entries {
 					visit(e.Action, owner)
 				}
 				visit(tbl.Default, owner)
+				visit(tbl.SymbolicAction, owner)
+				delete(applying, t.Table)
 			}
 		}
 	}

@@ -143,8 +143,14 @@ func (o CmpOp) Negate() CmpOp {
 	case CmpGe:
 		return CmpLt
 	}
-	panic("ir: unknown CmpOp")
+	// Out-of-range operators (from hand-built or fuzzed IR) negate to
+	// themselves; the analysis verifier reports them as malformed rather
+	// than crashing the profiler mid-run.
+	return o
 }
+
+// Valid reports whether the operator is one of the defined comparisons.
+func (o CmpOp) Valid() bool { return o >= CmpEq && o <= CmpGe }
 
 // Expr is a packet-processing expression. Expressions reference the current
 // packet's header fields, scalar registers, and per-packet metadata.

@@ -1,12 +1,12 @@
 package mc
 
 import (
-	"math"
 	"testing"
 
 	"repro/internal/dist"
 	"repro/internal/ir"
 	"repro/internal/solver"
+	"repro/internal/testutil"
 )
 
 func sp() *solver.Space {
@@ -20,7 +20,7 @@ func v(pkt int, f string) solver.Var { return solver.Var{Pkt: pkt, Field: f} }
 
 func con(op ir.CmpOp, a, b solver.LinExpr) solver.Constraint { return solver.NewCmp(op, a, b) }
 
-func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+func almostEq(a, b, tol float64) bool { return testutil.ApproxEqual(a, b, tol, 0) }
 
 func TestUniformInterval(t *testing.T) {
 	c := NewCounter(sp(), nil)
@@ -188,7 +188,7 @@ func TestMonteCarloFallback(t *testing.T) {
 			solver.ConstExpr(255)),
 	})
 	want := (257.0 * 256 / 2) / (256.0 * 256)
-	if math.Abs(p.Float()-want) > 0.02 {
+	if !testutil.ApproxEqual(p.Float(), want, 0.02, 0) {
 		t.Fatalf("MC estimate %v too far from %v", p.Float(), want)
 	}
 	if c.Stats().MCFallbacks == 0 {
@@ -315,7 +315,7 @@ func TestForceMCAgreesWithExact(t *testing.T) {
 	mcc.ForceMC = true
 	mcc.Seed = 3
 	pm := mcc.ProbOf(cs).Float()
-	if math.Abs(pe-pm) > 0.02 {
+	if !testutil.ApproxEqual(pe, pm, 0.02, 0) {
 		t.Fatalf("exact %v vs MC %v diverge", pe, pm)
 	}
 }

@@ -25,6 +25,26 @@ func Parse(src string) (*ir.Program, error) {
 	return prog.Build()
 }
 
+// ParseUnvalidated compiles source like Parse but skips reference
+// validation, so the analysis verifier can report every problem in a
+// malformed program as a structured diagnostic instead of failing at
+// Build's first error. The result must not be executed.
+func ParseUnvalidated(src string) (*ir.Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errf("trailing input after program")
+	}
+	return prog.BuildUnvalidated()
+}
+
 // MustParse is Parse that panics on error (for static program text).
 func MustParse(src string) *ir.Program {
 	prog, err := Parse(src)

@@ -4,9 +4,11 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/testutil"
 )
 
-func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+func almostEq(a, b, tol float64) bool { return testutil.ApproxEqual(a, b, tol, 0) }
 
 func TestBasics(t *testing.T) {
 	if !Zero().IsZero() {

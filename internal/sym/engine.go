@@ -42,6 +42,12 @@ type Options struct {
 	Layout map[string]uint64
 	// Locality overrides greybox key locality (0 = greybox default).
 	Locality float64
+	// Dead lists CFG node IDs proven statically infeasible by the analysis
+	// package (repo-over-paper extension). A path that would enter a dead
+	// block is discarded instead of forked further: the block's probability
+	// is exactly zero, so no mass is lost. The engine takes a plain ID set
+	// rather than an analysis type to keep the packages decoupled.
+	Dead map[int]bool
 }
 
 // Stats counts engine work.
@@ -51,6 +57,7 @@ type Stats struct {
 	FeasibilityChk int
 	Merges         int
 	ArrayBytes     int // baseline array state cloned (cost proxy)
+	PrunedPaths    int // paths discarded on entry to a statically-dead block
 }
 
 // Engine interprets one program symbolically.

@@ -64,6 +64,13 @@ func (e *Engine) exec(p *Path, s ir.Stmt, pkt int) ([]*Path, error) {
 }
 
 func (e *Engine) execBlock(p *Path, b *ir.Block, pkt int) ([]*Path, error) {
+	if e.Opts.Dead[b.ID] {
+		// Statically-dead block: the analysis proved no packet sequence can
+		// reach it, so this path carries zero probability mass. Discard it
+		// instead of forking further.
+		e.Stats.PrunedPaths++
+		return nil, nil
+	}
 	p.Visits[b.ID] = true
 	p.AllVisits[b.ID]++
 	cur := []*Path{p}
@@ -89,6 +96,23 @@ func (e *Engine) execBlock(p *Path, b *ir.Block, pkt int) ([]*Path, error) {
 }
 
 func (e *Engine) execIf(p *Path, f *ir.If, pkt int) ([]*Path, error) {
+	// Static pruning: when an arm is a statically-dead block, the
+	// condition's outcome is already implied by constraints on every path
+	// that reaches it, so the path is routed to the live arm without the
+	// fork, the clone, or the two feasibility checks.
+	if e.Opts.Dead != nil {
+		if b, ok := f.Then.(*ir.Block); ok && e.Opts.Dead[b.ID] {
+			e.Stats.PrunedPaths++
+			if f.Else == nil {
+				return []*Path{p}, nil
+			}
+			return e.exec(p, f.Else, pkt)
+		}
+		if b, ok := f.Else.(*ir.Block); ok && e.Opts.Dead[b.ID] {
+			e.Stats.PrunedPaths++
+			return e.exec(p, f.Then, pkt)
+		}
+	}
 	tr, fl := e.forkCond([]*Path{p}, f.Cond, pkt)
 	var out []*Path
 	for _, q := range tr {

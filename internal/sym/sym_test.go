@@ -7,9 +7,10 @@ import (
 	"repro/internal/ir"
 	"repro/internal/mc"
 	"repro/internal/prob"
+	"repro/internal/testutil"
 )
 
-func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+func almostEq(a, b, tol float64) bool { return testutil.ApproxEqual(a, b, tol, 0) }
 
 // tcpUDP is the canonical two-way branch program: count TCP vs UDP.
 func tcpUDP(t *testing.T) *ir.Program {

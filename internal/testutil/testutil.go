@@ -1,0 +1,42 @@
+// Package testutil holds shared test helpers. Probability and
+// model-counting tests across the repository compare floating-point
+// estimates; ApproxEqual centralizes the tolerance convention (absolute OR
+// relative) that each package previously re-implemented ad hoc.
+package testutil
+
+import (
+	"math"
+	"testing"
+)
+
+// ApproxEqual reports whether a and b agree within absTol absolutely or
+// within relTol relative to the larger magnitude. Either tolerance alone is
+// sufficient: absolute tolerance governs values near zero, relative
+// tolerance governs large values. NaN never compares equal; two equal
+// infinities do.
+func ApproxEqual(a, b, absTol, relTol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b { // handles equal infinities
+		return true
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false // unequal infinities: relTol*Inf would accept anything
+	}
+	diff := math.Abs(a - b)
+	if diff <= absTol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= relTol*scale
+}
+
+// AssertApprox fails the test when got and want disagree beyond the
+// tolerances (see ApproxEqual).
+func AssertApprox(t *testing.T, got, want, absTol, relTol float64, what string) {
+	t.Helper()
+	if !ApproxEqual(got, want, absTol, relTol) {
+		t.Errorf("%s = %v, want %v (absTol %g, relTol %g)", what, got, want, absTol, relTol)
+	}
+}

@@ -1,0 +1,39 @@
+package testutil
+
+import (
+	"math"
+	"testing"
+)
+
+func TestApproxEqual(t *testing.T) {
+	cases := []struct {
+		a, b, absTol, relTol float64
+		want                 bool
+	}{
+		{1, 1, 0, 0, true},
+		{0, 1e-13, 1e-12, 0, true},
+		{0, 1e-11, 1e-12, 0, false},
+		// Relative tolerance carries large magnitudes.
+		{1e6, 1e6 + 0.5, 0, 1e-6, true},
+		{1e6, 1e6 + 10, 0, 1e-6, false},
+		// Either tolerance alone suffices.
+		{100, 100.5, 1, 0, true},
+		{100, 100.5, 0, 0.01, true},
+		{math.Inf(1), math.Inf(1), 0, 0, true},
+		{math.Inf(1), math.Inf(-1), 1e9, 1e9, false},
+		{math.NaN(), math.NaN(), 1, 1, false},
+		{1, math.NaN(), 1, 1, false},
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b, c.absTol, c.relTol); got != c.want {
+			t.Errorf("ApproxEqual(%v, %v, %v, %v) = %v, want %v",
+				c.a, c.b, c.absTol, c.relTol, got, c.want)
+		}
+	}
+}
+
+func TestApproxEqualSymmetric(t *testing.T) {
+	if ApproxEqual(1, 2, 0.1, 0.1) != ApproxEqual(2, 1, 0.1, 0.1) {
+		t.Error("ApproxEqual is not symmetric")
+	}
+}

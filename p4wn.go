@@ -17,6 +17,7 @@ package p4wn
 import (
 	"fmt"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/dut"
@@ -51,6 +52,8 @@ type (
 	Metrics = dut.Metrics
 	// SystemMeta describes one program-zoo entry.
 	SystemMeta = programs.Meta
+	// LintReport is the combined result of the static-analysis passes.
+	LintReport = analysis.Report
 )
 
 // Systems lists the evaluation program zoo (Vera's stateless set, S1–S15,
@@ -77,6 +80,12 @@ func LookupSystem(name string) (SystemMeta, bool) { return programs.ByName(name)
 func Profile(prog *Program, oracle Oracle, opt ProfileOptions) (*ProfileResult, error) {
 	return core.ProbProf(prog, oracle, opt)
 }
+
+// Lint runs the static-analysis suite over a built program: the IR
+// verifier (structured well-formedness diagnostics), CFG reachability,
+// def-use linting, and interval-based dead-branch detection. The report's
+// PruneSet is what the profiler skips when pruning is enabled.
+func Lint(prog *Program) *LintReport { return analysis.Analyze(prog) }
 
 // GenerateTraffic synthesizes a CAIDA-like workload.
 func GenerateTraffic(opt TrafficOptions) *Traffic { return trace.Generate(opt) }
