@@ -6,8 +6,13 @@
 //	p4wn lint -prog "Blink (S5)" [-deps]
 //	p4wn lint -file my_program.p4w
 //	p4wn lint -all
-//	p4wn profile -prog "Blink (S5)" [-uniform] [-seed 1]
+//	p4wn profile -prog "Blink (S5)" [-uniform] [-seed 1] [-v] [-report out.json]
 //	p4wn profile -file my_program.p4w
+//
+// Observability flags (profile): -v streams per-iteration trace lines to
+// stderr, -report writes the versioned JSON run report, -metrics-addr serves
+// /metrics + expvar + pprof over HTTP for the duration of the run, and
+// -cpuprofile/-memprofile capture Go runtime profiles.
 //	p4wn adversarial -prog "Blink (S5)" -target reroute [-out adv.pcap]
 //	p4wn backtest -prog "Blink (S5)" -trace adv.pcap
 //	p4wn monitor -prog "Blink (S5)" -trace adv.pcap
@@ -22,10 +27,12 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	p4wn "repro"
 	"repro/internal/dut"
 	"repro/internal/mitigate"
+	"repro/internal/obs"
 	"repro/internal/p4c"
 	"repro/internal/trace"
 )
@@ -48,6 +55,11 @@ func main() {
 	pps := fs.Int("pps", 1000, "amplified workload rate (adversarial)")
 	lintAll := fs.Bool("all", false, "lint every zoo program (lint)")
 	lintDeps := fs.Bool("deps", false, "print the state-dependency graph (lint)")
+	verbose := fs.Bool("v", false, "stream per-iteration trace lines to stderr (profile)")
+	reportPath := fs.String("report", "", "write the JSON run report to this path (profile)")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, expvar, and pprof on this address (profile)")
+	cpuProfile := fs.String("cpuprofile", "", "write a Go CPU profile to this path (profile)")
+	memProfile := fs.String("memprofile", "", "write a Go heap profile to this path (profile)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -58,7 +70,10 @@ func main() {
 	case "lint":
 		cmdLint(*progName, *progFile, *lintAll, *lintDeps)
 	case "profile":
-		cmdProfile(*progName, *progFile, *seed, *uniform)
+		cmdProfile(*progName, *progFile, *seed, *uniform, obsFlags{
+			verbose: *verbose, report: *reportPath, metricsAddr: *metricsAddr,
+			cpuProfile: *cpuProfile, memProfile: *memProfile,
+		})
 	case "adversarial":
 		cmdAdversarial(*progName, *progFile, *target, *out, *seed, *seconds, *pps)
 	case "backtest":
@@ -177,17 +192,59 @@ func cmdLint(name, file string, all, deps bool) {
 	}
 }
 
-func cmdProfile(name, file string, seed int64, uniform bool) {
+// obsFlags bundles the observability flags shared by profile (and, over
+// time, other long-running subcommands).
+type obsFlags struct {
+	verbose     bool
+	report      string
+	metricsAddr string
+	cpuProfile  string
+	memProfile  string
+}
+
+func cmdProfile(name, file string, seed int64, uniform bool, of obsFlags) {
 	prog, oracle := loadProgram(name, file, seed)
 	if uniform {
 		oracle = nil
 	}
-	prof, err := p4wn.Profile(prog, oracle, p4wn.ProfileOptions{Seed: seed})
+
+	stopProfiles, err := obs.StartProfiles(of.cpuProfile, of.memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	opt := p4wn.ProfileOptions{Seed: seed}
+	if of.verbose {
+		opt.Tracer = obs.NewTracer(os.Stderr)
+	}
+	reg := obs.NewRegistry()
+	opt.Registry = reg
+	if of.metricsAddr != "" {
+		addr, closeSrv, err := obs.ServeMetrics(of.metricsAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer closeSrv()
+		fmt.Fprintf(os.Stderr, "serving metrics at http://%s/metrics\n", addr)
+	}
+
+	prof, err := p4wn.Profile(prog, oracle, opt)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Print(prof)
-	fmt.Printf("(%.2fs)\n", prof.Stats.Duration.Seconds())
+
+	rep := p4wn.Report(prof, opt)
+	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	fmt.Print(rep.Summary())
+	if of.report != "" {
+		if err := obs.WriteJSONAtomic(of.report, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote run report to %s\n", of.report)
+	}
+	if err := stopProfiles(); err != nil {
+		fatal(err)
+	}
 }
 
 func cmdAdversarial(name, file, target, out string, seed int64, seconds, pps int) {

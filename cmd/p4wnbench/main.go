@@ -3,6 +3,11 @@
 //
 //	p4wnbench -exp all -scale quick
 //	p4wnbench -exp fig6a,fig10 -scale default -outdir results/
+//	p4wnbench -exp all -scale quick -report bench.json
+//
+// With -report, a versioned JSON bench report (per-experiment wall times and
+// statuses) is written atomically — the artifact CI uploads as
+// BENCH_<date>.json to track performance trajectories across revisions.
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/eval"
+	"repro/internal/obs"
 )
 
 type experiment struct {
@@ -50,6 +56,7 @@ func main() {
 	scale := flag.String("scale", "quick", "quick | default | full")
 	outdir := flag.String("outdir", "", "write each experiment's output to <outdir>/<name>.txt")
 	seed := flag.Int64("seed", 1, "random seed")
+	reportPath := flag.String("report", "", "write the JSON bench report to this path")
 	flag.Parse()
 
 	var cfg eval.Config
@@ -73,6 +80,8 @@ func main() {
 		}
 	}
 
+	rep := obs.NewBenchReport(*scale, *seed)
+	benchStart := time.Now()
 	failed := 0
 	for _, e := range experiments {
 		if len(want) > 0 && !want[e.name] {
@@ -80,13 +89,18 @@ func main() {
 		}
 		start := time.Now()
 		res, err := e.run(cfg)
+		elapsed := time.Since(start)
+		er := obs.ExperimentResult{Name: e.name, Seconds: elapsed.Seconds(), OK: err == nil}
 		if err != nil {
+			er.Error = err.Error()
+			rep.Experiments = append(rep.Experiments, er)
 			fmt.Fprintf(os.Stderr, "p4wnbench: %s failed: %v\n", e.name, err)
 			failed++
 			continue
 		}
+		rep.Experiments = append(rep.Experiments, er)
 		text := res.String()
-		fmt.Printf("==== %s (%.1fs) ====\n%s\n", e.name, time.Since(start).Seconds(), text)
+		fmt.Printf("==== %s (%.1fs) ====\n%s\n", e.name, elapsed.Seconds(), text)
 		if *outdir != "" {
 			if err := os.MkdirAll(*outdir, 0o755); err != nil {
 				fmt.Fprintln(os.Stderr, "p4wnbench:", err)
@@ -98,6 +112,20 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+	rep.Metrics = map[string]float64{
+		"wall_sec":    time.Since(benchStart).Seconds(),
+		"experiments": float64(len(rep.Experiments)),
+		"failed":      float64(failed),
+	}
+	fmt.Print(rep.Summary())
+	if *reportPath != "" {
+		rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+		if err := obs.WriteJSONAtomic(*reportPath, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "p4wnbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote bench report to %s\n", *reportPath)
 	}
 	if failed > 0 {
 		os.Exit(1)

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -15,10 +16,20 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/dist"
+	"repro/internal/greybox"
 	"repro/internal/ir"
 	"repro/internal/mc"
+	"repro/internal/obs"
 	"repro/internal/prob"
+	"repro/internal/solver"
 	"repro/internal/sym"
+)
+
+// solverMetricsView and greyboxMetricsView adapt the process-wide solver
+// and greybox counters to the obs registry's view type.
+var (
+	solverMetricsView  = obs.ViewFunc(solver.MetricsView)
+	greyboxMetricsView = obs.ViewFunc(greybox.MetricsView)
 )
 
 // Options tunes ProbProf. Zero values select the documented defaults.
@@ -62,6 +73,21 @@ type Options struct {
 	Locality float64
 	// Seed drives sampling and Monte-Carlo determinism.
 	Seed int64
+
+	// Context cancels the whole run (symbolic loop, telescoping, and the
+	// sampling fallback); it is checked at engine fork points and inside
+	// every per-path stage, so even a path-explosion iteration stops
+	// promptly. Timeout remains the convenience wrapper bounding only the
+	// symbolic phase before sampling takes over. Nil means no external
+	// cancellation.
+	Context context.Context
+	// Tracer receives per-iteration records, stage spans, and telescope
+	// decisions. Nil (the default) is a no-op with no per-event allocation.
+	Tracer *obs.Tracer
+	// Registry, when non-nil, is updated once per iteration (and at the
+	// end of the run) with the core/sym/mc metric views plus the
+	// process-wide solver counters, for the -metrics-addr endpoint.
+	Registry *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -147,9 +173,13 @@ type NodeProb struct {
 // Stats instruments a profiling run.
 type Stats struct {
 	Duration       time.Duration
+	AnalysisTime   time.Duration // static dead-block pre-analysis
+	TelescopeTime  time.Duration // telescoping probe + generalization
 	UpdateProbTime time.Duration
 	SymTime        time.Duration
+	MergeTime      time.Duration
 	SampleTime     time.Duration
+	FinalizeTime   time.Duration // distguard generalization + profile assembly
 	Iterations     int
 	Paths          int
 	TelescopedNode int
@@ -158,6 +188,46 @@ type Stats struct {
 	Counter        mc.Stats
 	Engine         sym.Stats
 	OracleQueries  int
+	// Iters is the per-iteration convergence trajectory (always collected;
+	// it is bounded by MaxIters and is what the run report serializes).
+	Iters []obs.IterationRecord
+}
+
+// Stages returns per-stage wall seconds under the report's stage names.
+func (s *Stats) Stages() map[string]float64 {
+	return map[string]float64{
+		"analysis":   s.AnalysisTime.Seconds(),
+		"telescope":  s.TelescopeTime.Seconds(),
+		"sym":        s.SymTime.Seconds(),
+		"updateprob": s.UpdateProbTime.Seconds(),
+		"merge":      s.MergeTime.Seconds(),
+		"sample":     s.SampleTime.Seconds(),
+		"finalize":   s.FinalizeTime.Seconds(),
+	}
+}
+
+// Metrics flattens the run's stats — including the nested engine and
+// counter stats — into the fully-qualified registry/report namespace.
+func (s *Stats) Metrics() map[string]float64 {
+	m := map[string]float64{
+		"core.duration_sec":     s.Duration.Seconds(),
+		"core.iterations":       float64(s.Iterations),
+		"core.paths":            float64(s.Paths),
+		"core.telescoped_nodes": float64(s.TelescopedNode),
+		"core.sampled_nodes":    float64(s.SampledNodes),
+		"core.pruned_nodes":     float64(s.PrunedNodes),
+		"core.oracle_queries":   float64(s.OracleQueries),
+	}
+	for k, v := range s.Stages() {
+		m["core.stage."+k+"_sec"] = v
+	}
+	for k, v := range s.Engine.Metrics() {
+		m["sym."+k] = v
+	}
+	for k, v := range s.Counter.Metrics() {
+		m["mc."+k] = v
+	}
+	return m
 }
 
 // Profile is the probabilistic profile (N, µ̂) of a program: the per-packet
@@ -207,15 +277,30 @@ func ProbProf(progIn *ir.Program, oracle dist.Oracle, optIn Options) (*Profile, 
 	if oracle == nil {
 		oracle = &dist.UniformOracle{}
 	}
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	tr := opt.Tracer
+	reg := opt.Registry
+	reg.RegisterView("solver", solverMetricsView)
+	reg.RegisterView("greybox", greyboxMetricsView)
 
 	numNodes := len(progIn.Nodes())
+	tr.Event("core", "probprof start", obs.F("nodes", float64(numNodes)),
+		obs.F("max_iters", float64(opt.MaxIters)))
 
 	// Static pre-analysis (repo-over-paper extension): blocks proven
 	// unreachable or statically dead are reported as probability-0 up front
 	// and the engine never forks into them.
 	dead := map[int]bool{}
+	var stats Stats
 	if !opt.DisablePrune {
+		span := tr.StartSpan("analysis")
+		anStart := time.Now()
 		dead = analysis.DeadBlocks(progIn)
+		stats.AnalysisTime = time.Since(anStart)
+		span.End()
 	}
 
 	// Telescoping pass (Figure 3's Telescope): estimate counter-guarded
@@ -223,18 +308,29 @@ func ProbProf(progIn *ir.Program, oracle dist.Oracle, optIn Options) (*Profile, 
 	// budget so a branchy probe cannot starve the main loop.
 	teleEst := map[int]prob.P{}
 	if !opt.DisableTelescope {
-		teleEst = telescope(progIn, oracle, opt)
+		span := tr.StartSpan("telescope")
+		teleStart := time.Now()
+		teleEst = telescope(ctx, progIn, oracle, opt)
+		stats.TelescopeTime = time.Since(teleStart)
+		span.End()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
-	// The main loop's deadline starts after the probe.
-	deadline := time.Now().Add(opt.Timeout)
+	// The main loop's deadline starts after the probe; Timeout remains a
+	// convenience wrapper around the context deadline the engine checks at
+	// every fork point.
+	symCtx, cancelSym := context.WithTimeout(ctx, opt.Timeout)
+	defer cancelSym()
 	engine := sym.NewEngine(progIn, sym.Options{
 		Greybox:  true,
 		Merge:    !opt.DisableMerge,
 		MaxPaths: opt.MaxPaths,
-		Deadline: deadline,
+		Ctx:      symCtx,
 		Locality: opt.Locality,
 		Dead:     dead,
+		Tracer:   tr,
 	})
 	counter := mc.NewCounter(engine.Space, oracle)
 	counter.Seed = opt.Seed
@@ -249,25 +345,41 @@ func ProbProf(progIn *ir.Program, oracle dist.Oracle, optIn Options) (*Profile, 
 	}
 	stable := 0
 	converged := false
-	var stats Stats
 
 	paths := engine.Initial()
 	var symErr error
 	for iter := 0; iter < opt.MaxIters; iter++ {
+		rec := obs.IterationRecord{Iter: iter}
+
 		symStart := time.Now()
 		var nps []*sym.Path
 		nps, symErr = engine.Step(paths, iter)
-		stats.SymTime += time.Since(symStart)
+		symDur := time.Since(symStart)
+		stats.SymTime += symDur
 		if symErr != nil {
 			break
 		}
 		paths = nps
 		stats.Iterations = iter + 1
 		stats.Paths += len(paths)
+		stepPaths := len(paths)
+		// Open path-condition size before merging folds it away.
+		cons := 0
+		for _, p := range paths {
+			cons += len(p.PC)
+		}
 
 		upStart := time.Now()
-		probs := sym.NodeProbs(paths, counter, numNodes)
-		stats.UpdateProbTime += time.Since(upStart)
+		probs, upErr := sym.NodeProbsCtx(symCtx, paths, counter, numNodes)
+		upDur := time.Since(upStart)
+		stats.UpdateProbTime += upDur
+		if upErr != nil {
+			// Budget ran out mid-update: the partial sums are unusable, so
+			// keep the previous iteration's estimates and hand over to the
+			// sampling phase.
+			symErr = sym.ErrBudget
+			break
+		}
 
 		copy(prev, cur)
 		for i, p := range probs {
@@ -277,27 +389,69 @@ func ProbProf(progIn *ir.Program, oracle dist.Oracle, optIn Options) (*Profile, 
 				everSeen[i] = true
 			}
 		}
+		var mergeDur time.Duration
 		if !opt.DisableMerge {
-			paths = sym.Merge(paths, counter)
-		}
-
-		if iter > 0 && maxDiffExcluding(cur, prev, teleEst) < opt.Epsilon {
-			stable++
-			if stable >= opt.stableRounds() {
-				converged = true
+			mergeStart := time.Now()
+			merged, mErr := sym.MergeCtx(symCtx, paths, counter)
+			mergeDur = time.Since(mergeStart)
+			stats.MergeTime += mergeDur
+			if mErr != nil {
+				symErr = sym.ErrBudget
 				break
 			}
+			paths = merged
+		}
+
+		md := maxDiffExcluding(cur, prev, teleEst)
+		if iter > 0 && md < opt.Epsilon {
+			stable++
 		} else {
 			stable = 0
 		}
-		if time.Now().After(deadline) {
+
+		// Per-iteration observability: the record is always collected (it
+		// is bounded by MaxIters and feeds the run report); the tracer and
+		// registry fan-out are nil-safe no-ops by default.
+		mcStats := counter.Stats()
+		rec.Paths = stepPaths
+		rec.MergedTo = len(paths)
+		rec.PrunedPaths = engine.Stats.PrunedPaths
+		rec.Forks = engine.Stats.Forks
+		rec.Constraints = cons
+		rec.MaxDiff = md
+		rec.Stable = stable
+		rec.MCQueries = mcStats.Queries
+		rec.MCHitRate = mcStats.CacheHitRate()
+		rec.SymSec = symDur.Seconds()
+		rec.UpdateSec = upDur.Seconds()
+		rec.MergeSec = mergeDur.Seconds()
+		stats.Iters = append(stats.Iters, rec)
+		tr.Iteration(rec)
+		if reg != nil {
+			reg.SetAll("sym", engine.Stats.Metrics())
+			reg.SetAll("mc", mcStats.Metrics())
+			reg.Gauge("core.iterations").Set(float64(stats.Iterations))
+			reg.Gauge("core.live_paths").Set(float64(len(paths)))
+		}
+
+		if stable >= opt.stableRounds() {
+			converged = true
 			break
 		}
+		if symCtx.Err() != nil {
+			break
+		}
+	}
+	// External cancellation aborts the run; a Timeout expiry merely ends
+	// the symbolic phase and falls through to sampling.
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	// Store-counter telescoping: guards over sketch estimates and
 	// hash-table flow counters, generalized from the measured update-block
 	// probabilities (see distguard.go).
+	finStart := time.Now()
 	distEst := distGuardEstimates(progIn, opt.Locality, func(id int) (prob.P, bool) {
 		if id < numNodes && everSeen[id] {
 			return best[id], true
@@ -316,16 +470,23 @@ func ProbProf(progIn *ir.Program, oracle dist.Oracle, optIn Options) (*Profile, 
 			unreached++
 		}
 	}
+	stats.FinalizeTime += time.Since(finStart)
 	sampled := map[int]float64{}
 	if !opt.DisableSampling && (!converged || symErr != nil || unreached > 0) {
+		span := tr.StartSpan("sample")
 		sampStart := time.Now()
-		sampled = samplePaths(progIn, oracle, opt)
+		sampled = samplePaths(ctx, progIn, oracle, opt)
 		stats.SampleTime = time.Since(sampStart)
+		span.End()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 
 	// Assemble the final profile with source attribution: telescoped
 	// estimates own their nodes; converged symbex estimates everything it
 	// reached; sampling covers the remainder.
+	finStart = time.Now()
 	nodes := make([]NodeProb, 0, numNodes)
 	coverage := 0
 	for _, blk := range progIn.Nodes() {
@@ -355,19 +516,32 @@ func ProbProf(progIn *ir.Program, oracle dist.Oracle, optIn Options) (*Profile, 
 		nodes = append(nodes, np)
 	}
 	sort.SliceStable(nodes, func(i, j int) bool { return nodes[i].P.Less(nodes[j].P) })
+	stats.FinalizeTime += time.Since(finStart)
 
 	stats.Duration = time.Since(start)
 	stats.Counter = counter.Stats()
 	stats.Engine = engine.Stats
 	stats.OracleQueries = oracle.QueryCount()
 
-	return &Profile{
+	pf := &Profile{
 		Program:   progIn.Name,
 		Nodes:     nodes,
 		Converged: converged,
 		Coverage:  float64(coverage) / math.Max(1, float64(numNodes)),
 		Stats:     stats,
-	}, nil
+	}
+	reg.SetAll("", stats.Metrics())
+	tr.Event("core", "probprof done",
+		obs.F("wall_sec", stats.Duration.Seconds()),
+		obs.F("converged", b2f(converged)), obs.F("coverage", pf.Coverage))
+	return pf, nil
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // maxDiffExcluding computes the L∞ distance between consecutive profiles,

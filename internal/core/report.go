@@ -1,0 +1,64 @@
+package core
+
+import (
+	"repro/internal/greybox"
+	"repro/internal/obs"
+	"repro/internal/solver"
+)
+
+// NewReport converts a finished profile into the versioned run report
+// (kind "profile"). GeneratedAt is left empty for the caller to stamp, so
+// golden tests stay byte-stable.
+func NewReport(pf *Profile, opt Options) *obs.Report {
+	r := &obs.Report{
+		SchemaVersion: obs.SchemaVersion,
+		Kind:          "profile",
+		Program:       pf.Program,
+		Options:       optionsMap(opt),
+		WallSec:       pf.Stats.Duration.Seconds(),
+		Stages:        pf.Stats.Stages(),
+		Iterations:    pf.Stats.Iters,
+		Converged:     pf.Converged,
+		Coverage:      pf.Coverage,
+		Metrics:       pf.Stats.Metrics(),
+	}
+	for k, v := range solver.MetricsView() {
+		r.Metrics["solver."+k] = v
+	}
+	for k, v := range greybox.MetricsView() {
+		r.Metrics["greybox."+k] = v
+	}
+	for i, n := range pf.Nodes {
+		r.Nodes = append(r.Nodes, obs.NodeReport{
+			Rank:   i + 1,
+			ID:     n.ID,
+			Label:  n.Label,
+			P:      n.P.Float(),
+			Log10P: n.P.Log10(),
+			Source: n.Source.String(),
+		})
+	}
+	return r
+}
+
+// optionsMap records the effective (defaulted) options so a report is
+// reproducible without the invoking command line.
+func optionsMap(optIn Options) map[string]any {
+	opt := optIn.withDefaults()
+	return map[string]any{
+		"alpha":             opt.Alpha,
+		"epsilon":           opt.Epsilon,
+		"gamma":             opt.Gamma,
+		"delta":             opt.Delta,
+		"max_iters":         opt.MaxIters,
+		"timeout_sec":       opt.Timeout.Seconds(),
+		"sample_budget":     opt.SampleBudget,
+		"max_paths":         opt.MaxPaths,
+		"disable_telescope": opt.DisableTelescope,
+		"disable_merge":     opt.DisableMerge,
+		"disable_sampling":  opt.DisableSampling,
+		"disable_prune":     opt.DisablePrune,
+		"locality":          opt.Locality,
+		"seed":              opt.Seed,
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/dist"
@@ -20,7 +21,7 @@ import (
 // "Informed" part: the sampler honors the oracle's pair-equality answer by
 // replaying the previous packet (a retransmission) with the reported
 // probability, so flow-correlated branches are reachable at realistic rates.
-func samplePaths(progIn *ir.Program, oracle dist.Oracle, opt Options) map[int]float64 {
+func samplePaths(ctx context.Context, progIn *ir.Program, oracle dist.Oracle, opt Options) map[int]float64 {
 	rng := rand.New(rand.NewSource(opt.Seed + 1))
 	gen := NewPacketSampler(progIn, oracle, rng)
 
@@ -29,7 +30,11 @@ func samplePaths(progIn *ir.Program, oracle dist.Oracle, opt Options) map[int]fl
 	sw.VisitHook = func(id int) { visitSet[id] = true }
 
 	counts := map[int]int{}
+	drawn := 0
 	for i := 0; i < opt.SampleBudget; i++ {
+		if i%512 == 0 && ctx.Err() != nil {
+			break
+		}
 		pkt := gen.Next()
 		for k := range visitSet {
 			delete(visitSet, k)
@@ -38,10 +43,16 @@ func samplePaths(progIn *ir.Program, oracle dist.Oracle, opt Options) map[int]fl
 		for id := range visitSet {
 			counts[id]++
 		}
+		drawn++
+	}
+	if drawn == 0 {
+		return nil
 	}
 	out := make(map[int]float64, len(counts))
 	for id, c := range counts {
-		out[id] = float64(c) / float64(opt.SampleBudget)
+		// Normalize by packets actually processed so an early ctx cut does
+		// not deflate every estimate.
+		out[id] = float64(c) / float64(drawn)
 	}
 	return out
 }

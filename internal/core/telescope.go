@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/ir"
 	"repro/internal/mc"
+	"repro/internal/obs"
 	"repro/internal/prob"
 	"repro/internal/solver"
 	"repro/internal/sym"
@@ -89,7 +91,7 @@ func (g Guard) RepetitionsNeeded(incPerPeriod uint64) uint64 {
 // repeat with some period, and generalize each periodic path to the length
 // needed to trigger every counter-guarded deep block, estimating
 // Pr[N] = Σ_paths q^rept.
-func telescope(progIn *ir.Program, oracle dist.Oracle, opt Options) map[int]prob.P {
+func telescope(ctx context.Context, progIn *ir.Program, oracle dist.Oracle, opt Options) map[int]prob.P {
 	guards := FindGuards(progIn)
 	if len(guards) == 0 {
 		return nil
@@ -101,6 +103,8 @@ func telescope(progIn *ir.Program, oracle dist.Oracle, opt Options) map[int]prob
 			deep = append(deep, g)
 		}
 	}
+	opt.Tracer.Event("telescope", "guards",
+		obs.F("found", float64(len(guards))), obs.F("deep", float64(len(deep))))
 	if len(deep) == 0 {
 		return nil
 	}

@@ -8,11 +8,11 @@ package eval
 
 import (
 	"fmt"
-	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/programs"
 	"repro/internal/trace"
 )
@@ -115,39 +115,10 @@ func S1toS11() []programs.Meta {
 	return out
 }
 
-// renderTable renders aligned columns.
+// renderTable renders aligned columns via the shared obs renderer, keeping
+// every experiment's output format identical to the run-report summaries.
 func renderTable(header []string, rows [][]string) string {
-	widths := make([]int, len(header))
-	for i, h := range header {
-		widths[i] = len(h)
-	}
-	for _, r := range rows {
-		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
-			}
-		}
-	}
-	var b strings.Builder
-	line := func(cells []string) {
-		for i, c := range cells {
-			if i > 0 {
-				b.WriteString("  ")
-			}
-			fmt.Fprintf(&b, "%-*s", widths[i], c)
-		}
-		b.WriteByte('\n')
-	}
-	line(header)
-	sep := make([]string, len(header))
-	for i := range sep {
-		sep[i] = strings.Repeat("-", widths[i])
-	}
-	line(sep)
-	for _, r := range rows {
-		line(r)
-	}
-	return b.String()
+	return obs.Table(header, rows)
 }
 
 // fmtDur renders a duration in seconds with sensible precision.

@@ -44,6 +44,7 @@ func (h *HashStore) Clone() *HashStore {
 // its own entry; a new flow lands on a uniformly random slot, which is
 // occupied — a CRC collision — with probability k/N.
 func (h *HashStore) AccessProbs() (pEmpty, pHit, pCollide float64) {
+	metrics.hashAccesses.Add(1)
 	if h.Size <= 0 {
 		return 0, 0, 1
 	}
@@ -159,6 +160,7 @@ func (b *BloomStore) FalsePositiveRate() float64 {
 // returning key (locality) is a true positive; a fresh key is a false
 // positive at the filter's current rate.
 func (b *BloomStore) HitProb() float64 {
+	metrics.bloomQueries.Add(1)
 	if b.Inserts <= 0 {
 		return 0
 	}
@@ -167,7 +169,10 @@ func (b *BloomStore) HitProb() float64 {
 }
 
 // Insert records one insertion.
-func (b *BloomStore) Insert() { b.Inserts++ }
+func (b *BloomStore) Insert() {
+	metrics.bloomInserts.Add(1)
+	b.Inserts++
+}
 
 // Key returns a canonical state fingerprint.
 func (b *BloomStore) Key() string {
@@ -203,6 +208,7 @@ func (s *SketchStore) Clone() *SketchStore {
 // Update adds inc for a symbolic key and returns the distribution of the
 // key's new count-min estimate.
 func (s *SketchStore) Update(inc int64) *ValueDist {
+	metrics.sketchUpdates.Add(1)
 	var est *ValueDist
 	if s.Keys < 1 || s.Vals.Len() == 0 {
 		s.Keys = 1
@@ -246,6 +252,7 @@ func (s *SketchStore) Overcount() float64 {
 // EstimateDist returns the estimate distribution for a fresh query without
 // updating the sketch.
 func (s *SketchStore) EstimateDist() *ValueDist {
+	metrics.sketchEstimate.Add(1)
 	est := s.Vals.Clone()
 	est.Normalize()
 	est.Shift(int64(s.Overcount()))

@@ -31,6 +31,26 @@ type Stats struct {
 	MCFallbacks  int // components estimated by Monte Carlo
 }
 
+// CacheHitRate returns the fraction of queries served from the memo cache.
+func (s Stats) CacheHitRate() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.Queries)
+}
+
+// Metrics flattens the stats into the registry/report namespace.
+func (s Stats) Metrics() map[string]float64 {
+	return map[string]float64{
+		"queries":        float64(s.Queries),
+		"cache_hits":     float64(s.CacheHits),
+		"cache_hit_rate": s.CacheHitRate(),
+		"exact_classes":  float64(s.ExactClasses),
+		"exact_pairs":    float64(s.ExactPairs),
+		"mc_fallbacks":   float64(s.MCFallbacks),
+	}
+}
+
 // Counter computes path-condition probabilities.
 type Counter struct {
 	Space  *solver.Space

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	rtpprof "runtime/pprof"
+	"time"
+)
+
+// ServeMetrics starts the observability HTTP endpoint on addr, exposing
+//
+//	/metrics       the registry snapshot as sorted "name value" lines
+//	/debug/vars    expvar (including the registry via PublishExpvar)
+//	/debug/pprof/  the standard pprof handlers
+//
+// It returns the bound address (useful with ":0") and a shutdown function.
+// The endpoint is meant for long `monitor`/`backtest`/bench runs; profiling
+// one-shot commands should prefer the -cpuprofile/-memprofile flags.
+func ServeMetrics(addr string, reg *Registry) (string, func() error, error) {
+	reg.PublishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, reg.Render())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
+}
+
+// StartProfiles starts a CPU profile and/or arranges a heap profile, per
+// the -cpuprofile/-memprofile flags. The returned stop function flushes
+// both; it is safe to call when both paths are empty.
+func StartProfiles(cpuPath, memPath string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := rtpprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	stop := func() error {
+		if cpuFile != nil {
+			rtpprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := rtpprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return stop, nil
+}

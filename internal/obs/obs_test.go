@@ -1,0 +1,307 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The disabled (nil) tracer must cost nothing: no allocations even with
+// field arguments, so instrumentation can stay unconditionally inline in
+// the profiler's hot loop.
+func TestNilTracerZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Event("core", "step", F("paths", 12), F("forks", 3))
+		sp := tr.StartSpan("sym")
+		sp.End()
+		tr.Iteration(IterationRecord{Iter: 1})
+	})
+	if allocs != 0 {
+		t.Fatalf("nil tracer allocated %v per op, want 0", allocs)
+	}
+}
+
+func BenchmarkNilTracerEvent(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Event("core", "step", F("paths", float64(i)))
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.Iterations() != nil || tr.StageTotals() != nil || tr.Depth() != 0 {
+		t.Fatal("nil tracer accessors should return zero values")
+	}
+	var reg *Registry
+	reg.Counter("x").Inc()
+	reg.Gauge("y").Set(1)
+	reg.Histogram("z").Observe(1)
+	reg.SetAll("p", map[string]float64{"a": 1})
+	reg.RegisterView("v", func() map[string]float64 { return nil })
+	if len(reg.Snapshot()) != 0 {
+		t.Fatal("nil registry should snapshot empty")
+	}
+	var c *Counter
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatal("nil counter")
+	}
+	var g *Gauge
+	g.Set(3)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge")
+	}
+	var h *Histogram
+	h.Observe(3)
+	if n, _, _, _ := h.Summary(); n != 0 {
+		t.Fatal("nil histogram")
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	outer := tr.StartSpan("outer")
+	if tr.Depth() != 1 {
+		t.Fatalf("depth = %d, want 1", tr.Depth())
+	}
+	inner := tr.StartSpan("inner")
+	if tr.Depth() != 2 {
+		t.Fatalf("depth = %d, want 2", tr.Depth())
+	}
+	tr.Event("sym", "probe", F("paths", 4))
+	if d := inner.End(); d < 0 {
+		t.Fatalf("inner duration %v", d)
+	}
+	outer.End()
+	if tr.Depth() != 0 {
+		t.Fatalf("depth after ends = %d, want 0", tr.Depth())
+	}
+
+	stages := tr.StageTotals()
+	if stages["outer"] < stages["inner"] {
+		t.Fatalf("outer (%v) should contain inner (%v)", stages["outer"], stages["inner"])
+	}
+	out := buf.String()
+	// The event inside two open spans is indented two levels.
+	if !strings.Contains(out, "    sym: probe paths=4") {
+		t.Fatalf("missing indented event line in:\n%s", out)
+	}
+	events, spans := tr.Counts()
+	if events != 1 || spans != 2 {
+		t.Fatalf("counts = (%d events, %d spans), want (1, 2)", events, spans)
+	}
+}
+
+func TestTracerIterationLine(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Iteration(IterationRecord{Iter: 3, Paths: 40, MergedTo: 9, MaxDiff: 1e-5})
+	if got := len(tr.Iterations()); got != 1 {
+		t.Fatalf("iterations = %d, want 1", got)
+	}
+	if !strings.Contains(buf.String(), "iter  3: paths=40 merged=9") {
+		t.Fatalf("bad iteration line: %q", buf.String())
+	}
+}
+
+// The registry must stay consistent when many goroutines write while others
+// snapshot (exercised under -race in CI).
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	reg.RegisterView("view", func() map[string]float64 { return map[string]float64{"k": 7} })
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				reg.Counter("ops").Inc()
+				reg.Gauge("last").Set(float64(i))
+				reg.Histogram("lat").Observe(float64(i%10) * 1e-4)
+				if i%100 == 0 {
+					reg.SetAll("bulk", map[string]float64{"x": float64(i)})
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				reg.Snapshot()
+				reg.Render()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+
+	snap := reg.Snapshot()
+	if snap["ops"] != workers*perWorker {
+		t.Fatalf("ops = %v, want %d", snap["ops"], workers*perWorker)
+	}
+	if snap["lat.count"] != workers*perWorker {
+		t.Fatalf("lat.count = %v", snap["lat.count"])
+	}
+	if snap["view.k"] != 7 {
+		t.Fatalf("view.k = %v", snap["view.k"])
+	}
+	if _, ok := snap["bulk.x"]; !ok {
+		t.Fatal("bulk gauge missing")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 100; i++ {
+		h.Observe(0.001) // lands in the 1ms bucket
+	}
+	h.Observe(50) // one outlier
+	count, sum, p50, p99 := h.Summary()
+	if count != 101 {
+		t.Fatalf("count = %d", count)
+	}
+	if math.Abs(sum-(0.1+50)) > 1e-9 {
+		t.Fatalf("sum = %v", sum)
+	}
+	if p50 != 0.001 {
+		t.Fatalf("p50 = %v, want 0.001", p50)
+	}
+	if p99 != 0.001 && p99 != 50 {
+		t.Fatalf("p99 = %v", p99)
+	}
+}
+
+// goldenReport is a fixed report exercising every schema field; the golden
+// file locks the v1 JSON shape (key names, nesting, clamping).
+func goldenReport() *Report {
+	return &Report{
+		SchemaVersion: SchemaVersion,
+		Kind:          "profile",
+		Program:       "counter",
+		Options:       map[string]any{"max_iters": 8, "seed": 1},
+		WallSec:       1.25,
+		Stages:        map[string]float64{"sym": 0.75, "merge": 0.25, "sample": 0.2},
+		Iterations: []IterationRecord{
+			{Iter: 0, Paths: 12, MergedTo: 4, Forks: 11, Constraints: 30,
+				MaxDiff: 0.5, MCQueries: 12, MCHitRate: 0.25, SymSec: 0.4,
+				UpdateSec: 0.05, MergeSec: 0.1},
+			{Iter: 1, Paths: 20, MergedTo: 5, Forks: 19, Constraints: 44,
+				MaxDiff: 5e-5, Stable: 1, MCQueries: 30, MCHitRate: 0.6,
+				SymSec: 0.35, UpdateSec: 0.04, MergeSec: 0.15},
+		},
+		Converged: true,
+		Coverage:  1,
+		Nodes: []NodeReport{
+			{Rank: 1, ID: 3, Label: "tcp_sample", P: 0, Log10P: math.Inf(-1), Source: "telescope"},
+			{Rank: 2, ID: 1, Label: "tcp", P: 0.00390625, Log10P: -2.408239965311849, Source: "symbex"},
+		},
+		Metrics: map[string]float64{"core.iterations": 2, "sym.forks": 30},
+	}
+}
+
+func TestReportGolden(t *testing.T) {
+	data, err := json.MarshalIndent(goldenReport(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	golden := filepath.Join("testdata", "report_v1.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("report JSON drifted from %s (run with UPDATE_GOLDEN=1 after intentional schema changes, and bump SchemaVersion)\ngot:\n%s", golden, data)
+	}
+	// The golden bytes must round-trip: -Inf clamps to the sentinel, the
+	// rest survives exactly.
+	var back Report
+	if err := json.Unmarshal(want, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.SchemaVersion != SchemaVersion || back.Kind != "profile" {
+		t.Fatalf("round-trip header: %+v", back)
+	}
+	if back.Nodes[0].Log10P != minLog10 {
+		t.Fatalf("-Inf should clamp to %g, got %g", minLog10, back.Nodes[0].Log10P)
+	}
+	if len(back.Iterations) != 2 || back.Iterations[1].Stable != 1 {
+		t.Fatalf("iterations round-trip: %+v", back.Iterations)
+	}
+}
+
+func TestWriteJSONAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteJSONAtomic(path, goldenReport()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatalf("unparsable report: %v", err)
+	}
+	// No temp files may linger after a successful write.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("leftover temp files: %v", entries)
+	}
+	// Overwrite must also succeed (rename over existing).
+	if err := WriteJSONAtomic(path, goldenReport()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportSummary(t *testing.T) {
+	s := goldenReport().Summary()
+	for _, want := range []string{"counter", "wall 1.250s", "stage", "sym", "(sum)", "core.iterations"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestBenchReportSummary(t *testing.T) {
+	r := NewBenchReport("quick", 1)
+	r.Experiments = []ExperimentResult{
+		{Name: "fig7", Seconds: 1.5, OK: true},
+		{Name: "fig8", Seconds: 0.2, OK: false, Error: "boom"},
+	}
+	s := r.Summary()
+	if !strings.Contains(s, "fig7") || !strings.Contains(s, "FAIL: boom") {
+		t.Fatalf("bench summary:\n%s", s)
+	}
+	if r.SchemaVersion != SchemaVersion || r.Kind != "bench" {
+		t.Fatalf("bench header: %+v", r)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	got := Table([]string{"a", "long"}, [][]string{{"xxxx", "1"}})
+	want := "a     long\n----  ----\nxxxx  1   \n"
+	if got != want {
+		t.Fatalf("table = %q, want %q", got, want)
+	}
+}

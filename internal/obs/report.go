@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// SchemaVersion is the run-report schema version. Bump it on any breaking
+// change to the Report or BenchReport JSON shape; CI diffs reports across
+// revisions and needs to detect incompatibility.
+const SchemaVersion = 1
+
+// Report is the versioned machine-readable artifact of one profiling run:
+// what was profiled, with which options, how the estimate converged, where
+// the time went, and every metric the run accumulated. It is the seam
+// p4wnbench and CI diff perf trajectories through.
+type Report struct {
+	SchemaVersion int    `json:"schema_version"`
+	Kind          string `json:"kind"` // "profile"
+	Program       string `json:"program"`
+	GeneratedAt   string `json:"generated_at,omitempty"` // RFC3339; empty in golden tests
+
+	Options map[string]any `json:"options,omitempty"`
+
+	WallSec float64            `json:"wall_sec"`
+	Stages  map[string]float64 `json:"stages_sec"` // per-stage wall seconds
+
+	Iterations []IterationRecord `json:"iterations,omitempty"`
+
+	Converged bool         `json:"converged"`
+	Coverage  float64      `json:"coverage"`
+	Nodes     []NodeReport `json:"nodes"`
+
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// NodeReport is one profiled code block, rarest first.
+type NodeReport struct {
+	Rank   int     `json:"rank"`
+	ID     int     `json:"id"`
+	Label  string  `json:"label"`
+	P      float64 `json:"p"`       // linear probability (0 on underflow)
+	Log10P float64 `json:"log10_p"` // exact in log space; -Inf encodes as min float
+	Source string  `json:"source"`
+}
+
+// MarshalJSON clamps the -Inf log probability of unreached blocks to a
+// finite sentinel so the report stays valid JSON.
+func (n NodeReport) MarshalJSON() ([]byte, error) {
+	type alias NodeReport
+	a := alias(n)
+	if a.Log10P < minLog10 {
+		a.Log10P = minLog10
+	}
+	return json.Marshal(a)
+}
+
+// minLog10 stands in for log10(0) in JSON output (JSON has no -Inf).
+const minLog10 = -1e9
+
+// Summary renders the report's stats as aligned human-readable text — the
+// single renderer behind `p4wn profile` and the p4wnbench summaries.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "run: %s  wall %.3fs  converged=%v  coverage %.0f%%  iterations %d\n",
+		r.Program, r.WallSec, r.Converged, r.Coverage*100, len(r.Iterations))
+
+	if len(r.Stages) > 0 {
+		names := make([]string, 0, len(r.Stages))
+		for k := range r.Stages {
+			names = append(names, k)
+		}
+		sort.Slice(names, func(i, j int) bool { return r.Stages[names[i]] > r.Stages[names[j]] })
+		var rows [][]string
+		total := 0.0
+		for _, n := range names {
+			total += r.Stages[n]
+		}
+		for _, n := range names {
+			pct := 0.0
+			if r.WallSec > 0 {
+				pct = r.Stages[n] / r.WallSec * 100
+			}
+			rows = append(rows, []string{n, fmt.Sprintf("%.3f", r.Stages[n]), fmt.Sprintf("%.1f%%", pct)})
+		}
+		rows = append(rows, []string{"(sum)", fmt.Sprintf("%.3f", total), ""})
+		b.WriteString(Table([]string{"stage", "sec", "of wall"}, rows))
+	}
+
+	if len(r.Metrics) > 0 {
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var rows [][]string
+		for _, k := range keys {
+			rows = append(rows, []string{k, fmt.Sprintf("%g", r.Metrics[k])})
+		}
+		b.WriteString(Table([]string{"metric", "value"}, rows))
+	}
+	return b.String()
+}
+
+// ExperimentResult is one p4wnbench experiment's outcome.
+type ExperimentResult struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	OK      bool    `json:"ok"`
+	Error   string  `json:"error,omitempty"`
+}
+
+// BenchReport is the machine-readable artifact of one p4wnbench invocation
+// (kind "bench"): per-experiment wall times CI uploads as BENCH_<date>.json.
+type BenchReport struct {
+	SchemaVersion int                `json:"schema_version"`
+	Kind          string             `json:"kind"` // "bench"
+	GeneratedAt   string             `json:"generated_at,omitempty"`
+	Scale         string             `json:"scale"`
+	Seed          int64              `json:"seed"`
+	Experiments   []ExperimentResult `json:"experiments"`
+	Metrics       map[string]float64 `json:"metrics,omitempty"`
+}
+
+// NewBenchReport builds an empty bench report at the current schema version.
+func NewBenchReport(scale string, seed int64) *BenchReport {
+	return &BenchReport{SchemaVersion: SchemaVersion, Kind: "bench", Scale: scale, Seed: seed}
+}
+
+// Summary renders the per-experiment timing table.
+func (r *BenchReport) Summary() string {
+	var rows [][]string
+	for _, e := range r.Experiments {
+		status := "ok"
+		if !e.OK {
+			status = "FAIL: " + e.Error
+		}
+		rows = append(rows, []string{e.Name, fmt.Sprintf("%.3f", e.Seconds), status})
+	}
+	return fmt.Sprintf("bench report (scale %s, seed %d)\n", r.Scale, r.Seed) +
+		Table([]string{"experiment", "sec", "status"}, rows)
+}
+
+// WriteJSONAtomic marshals v with indentation and writes it to path via a
+// temp file + rename, so a crashed run never leaves a truncated report for
+// CI to misparse.
+func WriteJSONAtomic(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".report-*.json")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return os.Rename(tmpName, path)
+}
+
+// Table renders aligned text columns with a dashed separator under the
+// header — the shared renderer behind the eval tables and report summaries.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tracer records structured events, spans, and per-iteration profiler
+// records. A nil *Tracer is the default and is a complete no-op; every
+// method checks the receiver first, so instrumented code never branches on
+// "is tracing enabled" itself.
+//
+// When constructed with a non-nil writer, each event and span end is also
+// rendered as one indented text line (the `p4wn profile -v` output).
+// Regardless of the writer, the tracer retains iteration records and
+// accumulates per-stage wall time for the run report.
+type Tracer struct {
+	mu     sync.Mutex
+	w      io.Writer
+	start  time.Time
+	depth  int
+	stages map[string]time.Duration
+	iters  []IterationRecord
+	events int
+	spans  int
+}
+
+// NewTracer builds a tracer. w may be nil to collect silently (records and
+// stage totals only, no text output).
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w, start: time.Now(), stages: map[string]time.Duration{}}
+}
+
+// Event emits one structured event. Nil-safe and allocation-free when the
+// tracer is nil (the variadic slice stays on the caller's stack).
+func (t *Tracer) Event(scope, msg string, fields ...Field) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events++
+	if t.w != nil {
+		t.line(scope, msg, fields)
+	}
+	t.mu.Unlock()
+}
+
+// line renders one event line; caller holds t.mu.
+func (t *Tracer) line(scope, msg string, fields []Field) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%8.3fs] %s%s: %s", time.Since(t.start).Seconds(),
+		strings.Repeat("  ", t.depth), scope, msg)
+	for _, f := range fields {
+		fmt.Fprintf(&b, " %s=%g", f.Key, f.Val)
+	}
+	b.WriteByte('\n')
+	io.WriteString(t.w, b.String())
+}
+
+// Span is an open trace region. The zero Span (from a nil tracer) is a
+// no-op; End may be called exactly once.
+type Span struct {
+	t     *Tracer
+	name  string
+	start time.Time
+}
+
+// StartSpan opens a named span. Stage wall time accumulates under the span
+// name when the span ends, and nested spans indent the -v output.
+func (t *Tracer) StartSpan(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	t.mu.Lock()
+	t.spans++
+	t.depth++
+	t.mu.Unlock()
+	return Span{t: t, name: name, start: time.Now()}
+}
+
+// End closes the span, returning its duration (0 for the no-op span).
+func (s Span) End() time.Duration {
+	if s.t == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.t.mu.Lock()
+	s.t.stages[s.name] += d
+	if s.t.depth > 0 {
+		s.t.depth--
+	}
+	if s.t.w != nil {
+		s.t.line(s.name, fmt.Sprintf("done in %.3fs", d.Seconds()), nil)
+	}
+	s.t.mu.Unlock()
+	return d
+}
+
+// IterationRecord is one main-loop iteration of the profiler: the
+// per-iteration visibility the paper's Figures 7-9 are built from.
+type IterationRecord struct {
+	Iter        int     `json:"iter"`
+	Paths       int     `json:"paths"`         // live paths after the step
+	MergedTo    int     `json:"merged_to"`     // live paths after merging
+	PrunedPaths int     `json:"pruned_paths"`  // cumulative statically-pruned paths
+	Forks       int     `json:"forks"`         // cumulative engine forks
+	Constraints int     `json:"constraints"`   // open path-condition size, summed
+	MaxDiff     float64 `json:"max_diff"`      // L-inf distance vs previous profile
+	Stable      int     `json:"stable_rounds"` // consecutive epsilon-stable rounds
+	MCQueries   int     `json:"mc_queries"`    // cumulative model-counter queries
+	MCHitRate   float64 `json:"mc_cache_hit_rate"`
+	SymSec      float64 `json:"sym_sec"`
+	UpdateSec   float64 `json:"update_sec"`
+	MergeSec    float64 `json:"merge_sec"`
+}
+
+// Iteration records one profiler iteration and, with a writer attached,
+// prints it as a single trace line.
+func (t *Tracer) Iteration(rec IterationRecord) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.iters = append(t.iters, rec)
+	if t.w != nil {
+		fmt.Fprintf(t.w,
+			"[%8.3fs] iter %2d: paths=%d merged=%d forks=%d cons=%d maxdiff=%.2e stable=%d mc(q=%d hit=%.0f%%) sym=%.3fs update=%.3fs merge=%.3fs\n",
+			time.Since(t.start).Seconds(), rec.Iter, rec.Paths, rec.MergedTo,
+			rec.Forks, rec.Constraints, rec.MaxDiff, rec.Stable,
+			rec.MCQueries, rec.MCHitRate*100, rec.SymSec, rec.UpdateSec, rec.MergeSec)
+	}
+	t.mu.Unlock()
+}
+
+// Iterations returns a copy of the recorded iteration trajectory.
+func (t *Tracer) Iterations() []IterationRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]IterationRecord(nil), t.iters...)
+}
+
+// StageTotals returns accumulated span wall time per stage name, in seconds.
+func (t *Tracer) StageTotals() map[string]float64 {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]float64, len(t.stages))
+	for k, d := range t.stages {
+		out[k] = d.Seconds()
+	}
+	return out
+}
+
+// Counts returns how many events and spans were recorded.
+func (t *Tracer) Counts() (events, spans int) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.events, t.spans
+}
+
+// Depth returns the current span nesting depth (for tests).
+func (t *Tracer) Depth() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.depth
+}

@@ -29,11 +29,23 @@ func Solve(cs []Constraint, space *Space, opt SolveOptions) (map[Var]uint64, boo
 // infeasible; with disequality or generic residue it may (rarely) report an
 // infeasible one as feasible.
 func Feasible(cs []Constraint, space *Space) bool {
+	metrics.feasible.Add(1)
 	return Build(cs, space).Feasible
 }
 
 // Solve searches for a witness of the normalized system.
 func (s *System) Solve(opt SolveOptions) (map[Var]uint64, bool) {
+	asn, ok := s.solve(opt)
+	metrics.solves.Add(1)
+	if ok {
+		metrics.solveSat.Add(1)
+	} else {
+		metrics.solveUnsat.Add(1)
+	}
+	return asn, ok
+}
+
+func (s *System) solve(opt SolveOptions) (map[Var]uint64, bool) {
 	if !s.Feasible {
 		return nil, false
 	}

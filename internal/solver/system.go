@@ -121,6 +121,7 @@ func classify(e LinExpr) kind {
 // does not guarantee satisfiability when disequalities or generic residue
 // are present — use Solve for a definitive witness).
 func Build(cs []Constraint, space *Space) *System {
+	metrics.builds.Add(1)
 	sys := &System{
 		Space:    space,
 		RootIv:   map[Var]Interval{},

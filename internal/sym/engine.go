@@ -1,12 +1,14 @@
 package sym
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/greybox"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/prob"
 	"repro/internal/solver"
 )
@@ -48,6 +50,12 @@ type Options struct {
 	// is exactly zero, so no mass is lost. The engine takes a plain ID set
 	// rather than an analysis type to keep the packages decoupled.
 	Dead map[int]bool
+	// Ctx cancels exploration mid-step: it is checked at every fork point
+	// (alongside Deadline), so a path-explosion step cannot overshoot the
+	// caller's budget. Nil means no cancellation.
+	Ctx context.Context
+	// Tracer receives per-step events; nil (the default) is a no-op.
+	Tracer *obs.Tracer
 }
 
 // Stats counts engine work.
@@ -58,6 +66,20 @@ type Stats struct {
 	Merges         int
 	ArrayBytes     int // baseline array state cloned (cost proxy)
 	PrunedPaths    int // paths discarded on entry to a statically-dead block
+	GreyArms       int // greybox data-store arms taken (weighted forks)
+}
+
+// Metrics flattens the stats into the registry/report namespace.
+func (s Stats) Metrics() map[string]float64 {
+	return map[string]float64{
+		"forks":            float64(s.Forks),
+		"paths_explored":   float64(s.PathsExplored),
+		"feasibility_chks": float64(s.FeasibilityChk),
+		"merges":           float64(s.Merges),
+		"array_bytes":      float64(s.ArrayBytes),
+		"pruned_paths":     float64(s.PrunedPaths),
+		"grey_arms":        float64(s.GreyArms),
+	}
 }
 
 // Engine interprets one program symbolically.
@@ -106,6 +128,9 @@ func (e *Engine) Step(paths []*Path, pkt int) ([]*Path, error) {
 	if len(out) > e.Opts.MaxPaths {
 		return nil, ErrBudget
 	}
+	e.Opts.Tracer.Event("sym", "step",
+		obs.F("pkt", float64(pkt)), obs.F("paths", float64(len(out))),
+		obs.F("forks", float64(e.Stats.Forks)), obs.F("pruned", float64(e.Stats.PrunedPaths)))
 	return out, nil
 }
 
@@ -137,6 +162,13 @@ func (e *Engine) Run(t int) ([]*Path, error) {
 func (e *Engine) checkBudget(live int) error {
 	if live > e.Opts.MaxPaths {
 		return ErrBudget
+	}
+	if e.Opts.Ctx != nil {
+		select {
+		case <-e.Opts.Ctx.Done():
+			return ErrBudget
+		default:
+		}
 	}
 	if !e.Opts.Deadline.IsZero() && time.Now().After(e.Opts.Deadline) {
 		return ErrBudget

@@ -246,6 +246,7 @@ func (e *Engine) runArms(p *Path, arms []grArm, pkt int) ([]*Path, error) {
 			continue
 		}
 		used++
+		e.Stats.GreyArms++
 		q := p
 		if used < live {
 			q = p.Clone()

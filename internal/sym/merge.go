@@ -1,6 +1,8 @@
 package sym
 
 import (
+	"context"
+
 	"repro/internal/mc"
 	"repro/internal/prob"
 )
@@ -25,10 +27,22 @@ func PathProb(p *Path, counter *mc.Counter) prob.P {
 // Merged paths lose per-path action/havoc logs (profiling does not need
 // them); test generation runs the engine unmerged.
 func Merge(paths []*Path, counter *mc.Counter) []*Path {
+	out, _ := MergeCtx(context.Background(), paths, counter)
+	return out
+}
+
+// MergeCtx is Merge with cancellation: merging model-counts every
+// mergeable path's open condition, which on a path-explosion iteration is
+// where a profiling deadline would otherwise overshoot. On cancellation it
+// returns the input paths unmerged together with the context error.
+func MergeCtx(ctx context.Context, paths []*Path, counter *mc.Counter) ([]*Path, error) {
 	groups := map[string]*Path{}
 	var order []string
 	var out []*Path
-	for _, p := range paths {
+	for i, p := range paths {
+		if i%64 == 0 && ctx.Err() != nil {
+			return paths, ctx.Err()
+		}
 		if !p.StateMergeable() {
 			out = append(out, p)
 			continue
@@ -51,17 +65,30 @@ func Merge(paths []*Path, counter *mc.Counter) []*Path {
 	for _, k := range order {
 		out = append(out, groups[k])
 	}
-	return out
+	return out, nil
 }
 
 // NodeProbs sums path probabilities per CFG node visited during the paths'
 // current packet: Pr_t[N] = Σ_{p visits N} Pr[p].
 func NodeProbs(paths []*Path, counter *mc.Counter, numNodes int) []prob.P {
+	out, _ := NodeProbsCtx(context.Background(), paths, counter, numNodes)
+	return out
+}
+
+// NodeProbsCtx is NodeProbs with cancellation, checked every few paths:
+// like merging, the per-iteration probability update model-counts every
+// live path and is a deadline-overshoot hotspot. On cancellation the
+// partial sums are returned along with the context error; callers must
+// discard them.
+func NodeProbsCtx(ctx context.Context, paths []*Path, counter *mc.Counter, numNodes int) ([]prob.P, error) {
 	out := make([]prob.P, numNodes)
 	for i := range out {
 		out[i] = prob.Zero()
 	}
-	for _, p := range paths {
+	for i, p := range paths {
+		if i%64 == 0 && ctx.Err() != nil {
+			return out, ctx.Err()
+		}
 		pr := PathProb(p, counter)
 		if pr.IsZero() {
 			continue
@@ -72,5 +99,5 @@ func NodeProbs(paths []*Path, counter *mc.Counter, numNodes int) []prob.P {
 			}
 		}
 	}
-	return out
+	return out, nil
 }

@@ -22,6 +22,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/dut"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/programs"
 	"repro/internal/testgen"
 	"repro/internal/trace"
@@ -54,6 +55,13 @@ type (
 	SystemMeta = programs.Meta
 	// LintReport is the combined result of the static-analysis passes.
 	LintReport = analysis.Report
+	// RunReport is the versioned machine-readable artifact of one profiling
+	// run (schema_version, options, convergence trajectory, stage timings,
+	// final profile, metrics).
+	RunReport = obs.Report
+	// Tracer receives structured run telemetry; wire one into
+	// ProfileOptions.Tracer (nil disables tracing at zero cost).
+	Tracer = obs.Tracer
 )
 
 // Systems lists the evaluation program zoo (Vera's stateless set, S1–S15,
@@ -79,6 +87,12 @@ func LookupSystem(name string) (SystemMeta, bool) { return programs.ByName(name)
 // sampling fallback. A nil oracle profiles against the uniform header space.
 func Profile(prog *Program, oracle Oracle, opt ProfileOptions) (*ProfileResult, error) {
 	return core.ProbProf(prog, oracle, opt)
+}
+
+// Report converts a finished profile into the versioned run report; pass the
+// same options the profile was computed with so they are recorded.
+func Report(prof *ProfileResult, opt ProfileOptions) *RunReport {
+	return core.NewReport(prof, opt)
 }
 
 // Lint runs the static-analysis suite over a built program: the IR
