@@ -12,7 +12,10 @@
 // Observability flags (profile): -v streams per-iteration trace lines to
 // stderr, -report writes the versioned JSON run report, -metrics-addr serves
 // /metrics + expvar + pprof over HTTP for the duration of the run, and
-// -cpuprofile/-memprofile capture Go runtime profiles.
+// -cpuprofile/-memprofile capture Go runtime profiles. -workers sets the
+// profiler's degree of parallelism (0 selects GOMAXPROCS); the profile is
+// byte-identical for every worker count.
+//
 //	p4wn adversarial -prog "Blink (S5)" -target reroute [-out adv.pcap]
 //	p4wn backtest -prog "Blink (S5)" -trace adv.pcap
 //	p4wn monitor -prog "Blink (S5)" -trace adv.pcap
@@ -55,6 +58,7 @@ func main() {
 	pps := fs.Int("pps", 1000, "amplified workload rate (adversarial)")
 	lintAll := fs.Bool("all", false, "lint every zoo program (lint)")
 	lintDeps := fs.Bool("deps", false, "print the state-dependency graph (lint)")
+	workers := fs.Int("workers", 0, "profiler parallelism; 0 selects GOMAXPROCS (profile, monitor)")
 	verbose := fs.Bool("v", false, "stream per-iteration trace lines to stderr (profile)")
 	reportPath := fs.String("report", "", "write the JSON run report to this path (profile)")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, expvar, and pprof on this address (profile)")
@@ -70,7 +74,7 @@ func main() {
 	case "lint":
 		cmdLint(*progName, *progFile, *lintAll, *lintDeps)
 	case "profile":
-		cmdProfile(*progName, *progFile, *seed, *uniform, obsFlags{
+		cmdProfile(*progName, *progFile, *seed, *uniform, *workers, obsFlags{
 			verbose: *verbose, report: *reportPath, metricsAddr: *metricsAddr,
 			cpuProfile: *cpuProfile, memProfile: *memProfile,
 		})
@@ -79,7 +83,7 @@ func main() {
 	case "backtest":
 		cmdBacktest(*progName, *progFile, *traceFile)
 	case "monitor":
-		cmdMonitor(*progName, *traceFile, *seed)
+		cmdMonitor(*progName, *traceFile, *seed, *workers)
 	default:
 		usage()
 		os.Exit(2)
@@ -202,7 +206,7 @@ type obsFlags struct {
 	memProfile  string
 }
 
-func cmdProfile(name, file string, seed int64, uniform bool, of obsFlags) {
+func cmdProfile(name, file string, seed int64, uniform bool, workers int, of obsFlags) {
 	prog, oracle := loadProgram(name, file, seed)
 	if uniform {
 		oracle = nil
@@ -212,7 +216,7 @@ func cmdProfile(name, file string, seed int64, uniform bool, of obsFlags) {
 	if err != nil {
 		fatal(err)
 	}
-	opt := p4wn.ProfileOptions{Seed: seed}
+	opt := p4wn.ProfileOptions{Seed: seed, Workers: workers}
 	if of.verbose {
 		opt.Tracer = obs.NewTracer(os.Stderr)
 	}
@@ -310,7 +314,7 @@ func cmdBacktest(name, file, traceFile string) {
 
 // cmdMonitor implements the §6 mitigation flow: build the expected profile,
 // replay a trace with block counters attached, and report anomaly alarms.
-func cmdMonitor(name, traceFile string, seed int64) {
+func cmdMonitor(name, traceFile string, seed int64, workers int) {
 	m := mustProgram(name)
 	prog := m.Build()
 	if traceFile == "" {
@@ -328,7 +332,7 @@ func cmdMonitor(name, traceFile string, seed int64) {
 	}
 
 	oracle := p4wn.TraceOracle(p4wn.GenerateTraffic(m.Workload(seed)))
-	prof, err := p4wn.Profile(prog, oracle, p4wn.ProfileOptions{Seed: seed})
+	prof, err := p4wn.Profile(prog, oracle, p4wn.ProfileOptions{Seed: seed, Workers: workers})
 	if err != nil {
 		fatal(err)
 	}

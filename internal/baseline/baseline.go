@@ -16,6 +16,7 @@
 package baseline
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/core"
@@ -92,7 +93,15 @@ func ExProfile(prog *ir.Program, oracle dist.Oracle, packets int, budget time.Du
 			return nil, false
 		}
 	}
-	probs := sym.NodeProbs(paths, counter, len(prog.Nodes()))
+	// The final model-counting pass reuses the engine's worker pool, bounded
+	// by the same wall-clock budget the exploration ran under (enumerated
+	// path sets dwarf the frontier, so this is where ex actually times out).
+	ctx, cancel := context.WithDeadline(context.Background(), start.Add(budget))
+	defer cancel()
+	probs, perr := sym.NodeProbsPool(ctx, paths, counter, len(prog.Nodes()), e.Pool())
+	if perr != nil {
+		return nil, false
+	}
 	out := make(map[int]prob.P, len(probs))
 	for id, p := range probs {
 		out[id] = p

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/p4c"
+	"repro/internal/programs"
+	"repro/internal/trace"
+)
+
+// determinismSubjects returns the regression programs for the worker-count
+// determinism guarantee: a zoo system with its trace oracle, the stateful
+// counter program, and the example sources shipped in examples/programs/.
+func determinismSubjects(t *testing.T) []struct {
+	name string
+	run  func(workers int) string
+} {
+	t.Helper()
+	var subjects []struct {
+		name string
+		run  func(workers int) string
+	}
+	add := func(name string, run func(workers int) string) {
+		subjects = append(subjects, struct {
+			name string
+			run  func(workers int) string
+		}{name, run})
+	}
+
+	m, ok := programs.SID(2)
+	if !ok {
+		t.Fatal("zoo program S2 missing")
+	}
+	zooProg := m.Build()
+	add(m.Name, func(workers int) string {
+		oracle := trace.NewQueryProcessor(trace.Generate(m.Workload(1)))
+		prof, err := ProbProf(zooProg, oracle,
+			Options{Seed: 1, SampleBudget: 4000, MaxIters: 6, Workers: workers})
+		if err != nil {
+			t.Fatalf("%s workers=%d: %v", m.Name, workers, err)
+		}
+		return prof.String()
+	})
+
+	ctr := counterProg(t, 5)
+	add("counter", func(workers int) string {
+		prof, err := ProbProf(ctr, nil,
+			Options{Seed: 1, MaxIters: 8, DisableSampling: true, Workers: workers})
+		if err != nil {
+			t.Fatalf("counter workers=%d: %v", workers, err)
+		}
+		return prof.String()
+	})
+
+	files, err := filepath.Glob(filepath.Join("..", "..", "examples", "programs", "*.p4w"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no example programs found: %v", err)
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := p4c.Parse(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		add(filepath.Base(f), func(workers int) string {
+			prof, err := ProbProf(prog, nil,
+				Options{Seed: 1, SampleBudget: 2000, MaxIters: 6, Workers: workers})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", prog.Name, workers, err)
+			}
+			return prof.String()
+		})
+	}
+	return subjects
+}
+
+// TestProfileDeterministicAcrossWorkers is the regression gate for the
+// parallel engine: for every subject program the rendered profile at
+// Workers=8 (and an in-between count) must be byte-identical to Workers=1.
+// Any schedule-dependence in exploration order, merge order, havoc naming,
+// or probability accumulation shows up here as a diff.
+func TestProfileDeterministicAcrossWorkers(t *testing.T) {
+	for _, s := range determinismSubjects(t) {
+		ref := s.run(1)
+		for _, w := range []int{3, 8} {
+			if got := s.run(w); got != ref {
+				t.Errorf("%s: profile at workers=%d differs from workers=1\n--- w=1 ---\n%s\n--- w=%d ---\n%s",
+					s.name, w, ref, w, got)
+			}
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/mc"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/prob"
 	"repro/internal/solver"
 	"repro/internal/sym"
@@ -73,6 +74,12 @@ type Options struct {
 	Locality float64
 	// Seed drives sampling and Monte-Carlo determinism.
 	Seed int64
+	// Workers is the degree of parallelism for the profiler's hot loops:
+	// frontier stepping, per-path model-counting queries, telescoping, and
+	// the sampling fallback all share one worker pool. <= 0 (the default)
+	// selects runtime.GOMAXPROCS. Results are bit-identical for every
+	// worker count.
+	Workers int
 
 	// Context cancels the whole run (symbolic loop, telescoping, and the
 	// sampling fallback); it is checked at engine fork points and inside
@@ -188,6 +195,12 @@ type Stats struct {
 	Counter        mc.Stats
 	Engine         sym.Stats
 	OracleQueries  int
+	// Pool is the shared worker pool's snapshot (workers, batches, tasks,
+	// per-worker utilization); Cache is the memo cache's shard-level view
+	// (shards, resident entries, lock contention). Both land in the run
+	// report under "pool." / "mc.".
+	Pool  map[string]float64
+	Cache map[string]float64
 	// Iters is the per-iteration convergence trajectory (always collected;
 	// it is bounded by MaxIters and is what the run report serializes).
 	Iters []obs.IterationRecord
@@ -225,6 +238,12 @@ func (s *Stats) Metrics() map[string]float64 {
 		m["sym."+k] = v
 	}
 	for k, v := range s.Counter.Metrics() {
+		m["mc."+k] = v
+	}
+	for k, v := range s.Pool {
+		m["pool."+k] = v
+	}
+	for k, v := range s.Cache {
 		m["mc."+k] = v
 	}
 	return m
@@ -286,6 +305,12 @@ func ProbProf(progIn *ir.Program, oracle dist.Oracle, optIn Options) (*Profile, 
 	reg.RegisterView("solver", solverMetricsView)
 	reg.RegisterView("greybox", greyboxMetricsView)
 
+	// One pool serves every parallel stage of the run (exploration, counting,
+	// telescoping, sampling), so its utilization metrics describe the whole
+	// profile rather than one phase.
+	pool := par.New(opt.Workers, tr, "pool")
+	reg.RegisterView("pool", obs.ViewFunc(pool.Metrics))
+
 	numNodes := len(progIn.Nodes())
 	tr.Event("core", "probprof start", obs.F("nodes", float64(numNodes)),
 		obs.F("max_iters", float64(opt.MaxIters)))
@@ -310,7 +335,7 @@ func ProbProf(progIn *ir.Program, oracle dist.Oracle, optIn Options) (*Profile, 
 	if !opt.DisableTelescope {
 		span := tr.StartSpan("telescope")
 		teleStart := time.Now()
-		teleEst = telescope(ctx, progIn, oracle, opt)
+		teleEst = telescope(ctx, progIn, oracle, opt, pool)
 		stats.TelescopeTime = time.Since(teleStart)
 		span.End()
 	}
@@ -331,6 +356,8 @@ func ProbProf(progIn *ir.Program, oracle dist.Oracle, optIn Options) (*Profile, 
 		Locality: opt.Locality,
 		Dead:     dead,
 		Tracer:   tr,
+		Workers:  opt.Workers,
+		Pool:     pool,
 	})
 	counter := mc.NewCounter(engine.Space, oracle)
 	counter.Seed = opt.Seed
@@ -370,7 +397,7 @@ func ProbProf(progIn *ir.Program, oracle dist.Oracle, optIn Options) (*Profile, 
 		}
 
 		upStart := time.Now()
-		probs, upErr := sym.NodeProbsCtx(symCtx, paths, counter, numNodes)
+		probs, upErr := sym.NodeProbsPool(symCtx, paths, counter, numNodes, pool)
 		upDur := time.Since(upStart)
 		stats.UpdateProbTime += upDur
 		if upErr != nil {
@@ -392,7 +419,7 @@ func ProbProf(progIn *ir.Program, oracle dist.Oracle, optIn Options) (*Profile, 
 		var mergeDur time.Duration
 		if !opt.DisableMerge {
 			mergeStart := time.Now()
-			merged, mErr := sym.MergeCtx(symCtx, paths, counter)
+			merged, mErr := sym.MergePool(symCtx, paths, counter, pool)
 			mergeDur = time.Since(mergeStart)
 			stats.MergeTime += mergeDur
 			if mErr != nil {
@@ -429,7 +456,7 @@ func ProbProf(progIn *ir.Program, oracle dist.Oracle, optIn Options) (*Profile, 
 		tr.Iteration(rec)
 		if reg != nil {
 			reg.SetAll("sym", engine.Stats.Metrics())
-			reg.SetAll("mc", mcStats.Metrics())
+			reg.SetAll("mc", counter.Metrics())
 			reg.Gauge("core.iterations").Set(float64(stats.Iterations))
 			reg.Gauge("core.live_paths").Set(float64(len(paths)))
 		}
@@ -475,7 +502,7 @@ func ProbProf(progIn *ir.Program, oracle dist.Oracle, optIn Options) (*Profile, 
 	if !opt.DisableSampling && (!converged || symErr != nil || unreached > 0) {
 		span := tr.StartSpan("sample")
 		sampStart := time.Now()
-		sampled = samplePaths(ctx, progIn, oracle, opt)
+		sampled = samplePaths(ctx, progIn, oracle, opt, pool)
 		stats.SampleTime = time.Since(sampStart)
 		span.End()
 		if err := ctx.Err(); err != nil {
@@ -522,6 +549,8 @@ func ProbProf(progIn *ir.Program, oracle dist.Oracle, optIn Options) (*Profile, 
 	stats.Counter = counter.Stats()
 	stats.Engine = engine.Stats
 	stats.OracleQueries = oracle.QueryCount()
+	stats.Pool = pool.Metrics()
+	stats.Cache = counter.CacheMetrics()
 
 	pf := &Profile{
 		Program:   progIn.Name,

@@ -7,6 +7,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/dut"
 	"repro/internal/ir"
+	"repro/internal/par"
 	"repro/internal/trace"
 )
 
@@ -21,29 +22,61 @@ import (
 // "Informed" part: the sampler honors the oracle's pair-equality answer by
 // replaying the previous packet (a retransmission) with the reported
 // probability, so flow-correlated branches are reachable at realistic rates.
-func samplePaths(ctx context.Context, progIn *ir.Program, oracle dist.Oracle, opt Options) map[int]float64 {
-	rng := rand.New(rand.NewSource(opt.Seed + 1))
-	gen := NewPacketSampler(progIn, oracle, rng)
-
-	sw := dut.New(progIn, dut.Config{})
-	visitSet := map[int]bool{}
-	sw.VisitHook = func(id int) { visitSet[id] = true }
-
+//
+// The budget is partitioned into fixed-size chunks distributed across the
+// pool; each chunk runs its own deterministically seeded RNG, sampler, and
+// switch, and the integer hit counts are summed. Results therefore depend
+// only on (Seed, SampleBudget), never on the worker count. The pair-equality
+// retransmission correlation spans packets within one chunk only (documented
+// approximation: at 1024 packets per chunk the boundary effect on hit rates
+// is far below the sampler's 1/SampleBudget resolution floor).
+func samplePaths(ctx context.Context, progIn *ir.Program, oracle dist.Oracle, opt Options, pool *par.Pool) map[int]float64 {
+	const chunkSize = 1024
+	nChunks := (opt.SampleBudget + chunkSize - 1) / chunkSize
+	if nChunks == 0 {
+		return nil
+	}
+	chunkCounts := make([]map[int]int, nChunks)
+	chunkDrawn := make([]int, nChunks)
+	_ = pool.Run(ctx, nChunks, func(ci int) error {
+		n := chunkSize
+		if rem := opt.SampleBudget - ci*chunkSize; rem < n {
+			n = rem
+		}
+		// The chunk seed mixes the chunk index with an odd constant so
+		// neighboring chunks do not walk correlated rand.Source streams.
+		rng := rand.New(rand.NewSource(opt.Seed + 1 + int64(ci)*0x5851f42d4c957f2d))
+		gen := NewPacketSampler(progIn, oracle, rng)
+		sw := dut.New(progIn, dut.Config{})
+		visitSet := map[int]bool{}
+		sw.VisitHook = func(id int) { visitSet[id] = true }
+		counts := map[int]int{}
+		drawn := 0
+		for i := 0; i < n; i++ {
+			if i%512 == 0 && ctx.Err() != nil {
+				break
+			}
+			pkt := gen.Next()
+			for k := range visitSet {
+				delete(visitSet, k)
+			}
+			sw.Process(&pkt)
+			for id := range visitSet {
+				counts[id]++
+			}
+			drawn++
+		}
+		chunkCounts[ci] = counts
+		chunkDrawn[ci] = drawn
+		return nil
+	})
 	counts := map[int]int{}
 	drawn := 0
-	for i := 0; i < opt.SampleBudget; i++ {
-		if i%512 == 0 && ctx.Err() != nil {
-			break
+	for ci := range chunkCounts {
+		for id, c := range chunkCounts[ci] {
+			counts[id] += c
 		}
-		pkt := gen.Next()
-		for k := range visitSet {
-			delete(visitSet, k)
-		}
-		sw.Process(&pkt)
-		for id := range visitSet {
-			counts[id]++
-		}
-		drawn++
+		drawn += chunkDrawn[ci]
 	}
 	if drawn == 0 {
 		return nil

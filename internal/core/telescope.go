@@ -11,6 +11,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/mc"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/prob"
 	"repro/internal/solver"
 	"repro/internal/sym"
@@ -91,7 +92,7 @@ func (g Guard) RepetitionsNeeded(incPerPeriod uint64) uint64 {
 // repeat with some period, and generalize each periodic path to the length
 // needed to trigger every counter-guarded deep block, estimating
 // Pr[N] = Σ_paths q^rept.
-func telescope(ctx context.Context, progIn *ir.Program, oracle dist.Oracle, opt Options) map[int]prob.P {
+func telescope(ctx context.Context, progIn *ir.Program, oracle dist.Oracle, opt Options, pool *par.Pool) map[int]prob.P {
 	guards := FindGuards(progIn)
 	if len(guards) == 0 {
 		return nil
@@ -125,6 +126,8 @@ func telescope(ctx context.Context, progIn *ir.Program, oracle dist.Oracle, opt 
 		MaxPaths: maxProbePaths,
 		Locality: opt.Locality,
 		Deadline: time.Now().Add(probeBudget),
+		Ctx:      ctx,
+		Pool:     pool,
 	})
 	counter := mc.NewCounter(engine.Space, oracle)
 	counter.Seed = opt.Seed
@@ -144,24 +147,50 @@ func telescope(ctx context.Context, progIn *ir.Program, oracle dist.Oracle, opt 
 	}
 	opt.Gamma = gamma
 
-	est := map[int]prob.P{}
-	seenPattern := map[string]bool{}
-	for _, path := range paths {
+	// Periodicity detection and the per-pattern model count fan out across
+	// the pool; the dedup and the estimate accumulation stay sequential in
+	// path order (prob.P addition is not associative). Duplicate patterns
+	// cost one extra cache hit each instead of being skipped up front —
+	// the single-flight memo makes that near-free.
+	type probeResult struct {
+		ok  bool
+		d   int
+		sig string
+		q   prob.P
+	}
+	results := make([]probeResult, len(paths))
+	if err := pool.Run(ctx, len(paths), func(i int) error {
+		path := paths[i]
 		d, ok := periodOf(path, opt.Gamma)
 		if !ok {
+			return nil
+		}
+		cons := blockConstraints(path, 1, d)
+		q := counter.ProbOf(cons)
+		// Greybox weight amortized per period.
+		q = q.Mul(path.Grey.Pow(float64(d) / float64(opt.Gamma)))
+		results[i] = probeResult{ok: true, d: d,
+			sig: fmt.Sprintf("%d|%s", d, canonicalBlock(cons)), q: q}
+		return nil
+	}); err != nil {
+		return nil
+	}
+
+	est := map[int]prob.P{}
+	seenPattern := map[string]bool{}
+	for i, path := range paths {
+		r := results[i]
+		if !r.ok {
 			continue
 		}
 		// Paths differing only in their warm-up prefix stretch to the same
 		// infinite behaviour; count each stationary pattern once.
-		sig := fmt.Sprintf("%d|%s", d, canonicalBlock(blockConstraints(path, 1, d)))
-		if seenPattern[sig] {
+		if seenPattern[r.sig] {
 			continue
 		}
-		seenPattern[sig] = true
-		numBlocks := opt.Gamma / d
-		q := counter.ProbOf(blockConstraints(path, 1, d))
-		// Greybox weight amortized per period.
-		q = q.Mul(path.Grey.Pow(float64(d) / float64(opt.Gamma)))
+		seenPattern[r.sig] = true
+		numBlocks := opt.Gamma / r.d
+		q := r.q
 		if q.IsZero() {
 			continue
 		}

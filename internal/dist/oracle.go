@@ -1,6 +1,9 @@
 package dist
 
-import "sort"
+import (
+	"sort"
+	"sync/atomic"
+)
 
 // Oracle answers the interactive traffic-composition queries the profiler
 // issues at runtime (the paper's "oracle", which may be a spec, a human
@@ -25,10 +28,12 @@ type Oracle interface {
 
 // Profile is a static traffic profile: a prespecified oracle, like the
 // "TCP accounts for 90% of traffic" facts an operator supplies up front.
+// Queries are safe for concurrent use once the profile is built; SetField
+// and SetPairEq are setup-time only.
 type Profile struct {
 	Fields  map[string]Dist
 	PairEq  map[string]float64
-	queries int
+	queries atomic.Int64
 }
 
 // NewProfile creates an empty static profile.
@@ -50,20 +55,20 @@ func (p *Profile) SetPairEq(name string, prob float64) *Profile {
 
 // FieldDist implements Oracle.
 func (p *Profile) FieldDist(field string) (Dist, bool) {
-	p.queries++
+	p.queries.Add(1)
 	d, ok := p.Fields[field]
 	return d, ok
 }
 
 // PairEqualProb implements Oracle.
 func (p *Profile) PairEqualProb(field string) (float64, bool) {
-	p.queries++
+	p.queries.Add(1)
 	v, ok := p.PairEq[field]
 	return v, ok
 }
 
 // QueryCount implements Oracle.
-func (p *Profile) QueryCount() int { return p.queries }
+func (p *Profile) QueryCount() int { return int(p.queries.Load()) }
 
 // FieldNames returns the fields the profile covers, sorted.
 func (p *Profile) FieldNames() []string {
@@ -76,20 +81,21 @@ func (p *Profile) FieldNames() []string {
 }
 
 // UniformOracle answers every query with "unknown", making the profiler
-// fall back to uniform header spaces — the pure model-counting mode.
-type UniformOracle struct{ queries int }
+// fall back to uniform header spaces — the pure model-counting mode. Safe
+// for concurrent use.
+type UniformOracle struct{ queries atomic.Int64 }
 
 // FieldDist implements Oracle.
 func (u *UniformOracle) FieldDist(string) (Dist, bool) {
-	u.queries++
+	u.queries.Add(1)
 	return Dist{}, false
 }
 
 // PairEqualProb implements Oracle.
 func (u *UniformOracle) PairEqualProb(string) (float64, bool) {
-	u.queries++
+	u.queries.Add(1)
 	return 0, false
 }
 
 // QueryCount implements Oracle.
-func (u *UniformOracle) QueryCount() int { return u.queries }
+func (u *UniformOracle) QueryCount() int { return int(u.queries.Load()) }

@@ -42,6 +42,9 @@ type Config struct {
 	ThresholdSweep []int
 	// SeqLenSweep lists symbolic sequence lengths for Figure 6f.
 	SeqLenSweep []int
+	// Workers is the profiler's degree of parallelism (<= 0 selects
+	// GOMAXPROCS); results are bit-identical for every worker count.
+	Workers int
 }
 
 // DefaultConfig returns laptop-scale parameters.
@@ -96,6 +99,7 @@ func (c Config) profileOptions() core.Options {
 		Timeout:      c.ProfileTimeout,
 		SampleBudget: c.SampleBudget,
 		MaxIters:     c.ProfileMaxIters,
+		Workers:      c.Workers,
 	}
 }
 

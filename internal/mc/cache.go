@@ -1,0 +1,135 @@
+package mc
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/prob"
+	"repro/internal/solver"
+)
+
+// key128 is a 128-bit fingerprint of a sorted constraint conjunction. Two
+// independent 64-bit FNV-style folds make accidental collisions negligible
+// (a 64-bit key alone would risk silent cross-path cache corruption at the
+// millions-of-queries scale of a full profiling run).
+type key128 struct{ hi, lo uint64 }
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+	// Second fold uses splitmix64-style odd multipliers so hi and lo are
+	// independent functions of the same per-constraint hashes.
+	mixMul64 = 0xbf58476d1ce4e5b9
+)
+
+// cacheKey fingerprints a conjunction order-insensitively: each constraint
+// hashes independently over its canonical fields (terms are already sorted
+// by solver.LinExpr.canon), the per-constraint hashes are sorted as
+// integers, then folded twice. Unlike the fmt/String-based key this used to
+// be, it allocates only one small scratch slice (see BenchmarkCacheKey).
+func cacheKey(cs []solver.Constraint) key128 {
+	hs := make([]uint64, len(cs))
+	for i := range cs {
+		hs[i] = hashConstraint(&cs[i])
+	}
+	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+	lo := uint64(fnvOffset64)
+	hi := uint64(fnvOffset64) ^ 0x9e3779b97f4a7c15
+	for _, h := range hs {
+		lo = (lo ^ h) * fnvPrime64
+		hi = (hi + h) * mixMul64
+		hi ^= hi >> 29
+	}
+	return key128{hi: hi, lo: lo}
+}
+
+// hashConstraint is FNV-1a over the canonical bytes of one constraint:
+// operator, constant, and each term's packet index, coefficient, and field
+// name. No formatting, no intermediate strings.
+func hashConstraint(c *solver.Constraint) uint64 {
+	h := uint64(fnvOffset64)
+	h = hashByte(h, byte(c.Op))
+	h = hashU64(h, uint64(c.E.K))
+	for _, t := range c.E.Terms {
+		h = hashU64(h, uint64(t.Var.Pkt))
+		h = hashU64(h, uint64(t.Coef))
+		for i := 0; i < len(t.Var.Field); i++ {
+			h = hashByte(h, t.Var.Field[i])
+		}
+		h = hashByte(h, 0xff) // field terminator
+	}
+	return h
+}
+
+func hashByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
+
+func hashU64(h uint64, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = hashByte(h, byte(v))
+		v >>= 8
+	}
+	return h
+}
+
+// numShards is the fan-out of the memo cache. 64 shards keeps per-shard
+// mutex contention negligible for any realistic worker count while the
+// whole shard array stays a few cache lines of header data.
+const numShards = 64
+
+// cacheEntry is a single-flight slot: the first goroutine to claim a key
+// computes the probability and closes done; later goroutines wait on done
+// and read p. The claim is made under the shard lock, the (expensive) count
+// happens outside it.
+type cacheEntry struct {
+	done chan struct{}
+	p    prob.P
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[key128]*cacheEntry
+}
+
+// shardedCache is the concurrency-safe memo cache behind Counter.ProbOf:
+// N-way sharded by key hash with per-shard mutexes and single-flight
+// semantics, so two workers never redundantly count the same component.
+type shardedCache struct {
+	shards     [numShards]cacheShard
+	contention atomic.Int64 // lock acquisitions that had to wait
+	entries    atomic.Int64
+}
+
+func newShardedCache() *shardedCache {
+	c := &shardedCache{}
+	for i := range c.shards {
+		c.shards[i].m = map[key128]*cacheEntry{}
+	}
+	return c
+}
+
+// lookupOrClaim returns the entry for key and whether it already existed.
+// When existed is false the caller owns the entry: it must set p and close
+// done exactly once (callers use publish). When existed is true the caller
+// must wait on done before reading p.
+func (sc *shardedCache) lookupOrClaim(key key128) (e *cacheEntry, existed bool) {
+	s := &sc.shards[key.lo%numShards]
+	if !s.mu.TryLock() {
+		sc.contention.Add(1)
+		s.mu.Lock()
+	}
+	e, existed = s.m[key]
+	if !existed {
+		e = &cacheEntry{done: make(chan struct{})}
+		s.m[key] = e
+		sc.entries.Add(1)
+	}
+	s.mu.Unlock()
+	return e, existed
+}
+
+// publish completes a claimed entry, releasing every waiter.
+func (sc *shardedCache) publish(e *cacheEntry, p prob.P) {
+	e.p = p
+	close(e.done)
+}

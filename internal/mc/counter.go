@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/dist"
 	"repro/internal/prob"
@@ -51,7 +52,11 @@ func (s Stats) Metrics() map[string]float64 {
 	}
 }
 
-// Counter computes path-condition probabilities.
+// Counter computes path-condition probabilities. It is safe for concurrent
+// use: the memo cache is sharded with per-shard mutexes and single-flight
+// semantics (two workers never redundantly count the same conjunction — the
+// second blocks until the first publishes), and the instrumentation counters
+// are atomic. The tuning fields must be set before the first ProbOf call.
 type Counter struct {
 	Space  *solver.Space
 	Oracle dist.Oracle
@@ -66,8 +71,17 @@ type Counter struct {
 	// components (for the exact-vs-MC ablation).
 	ForceMC bool
 
-	cache map[string]prob.P
-	stats Stats
+	cache *shardedCache
+	stats counterStats
+}
+
+// counterStats is the atomic backing store for Stats snapshots.
+type counterStats struct {
+	queries      atomic.Int64
+	cacheHits    atomic.Int64
+	exactClasses atomic.Int64
+	exactPairs   atomic.Int64
+	mcFallbacks  atomic.Int64
 }
 
 // NewCounter builds a counter over the given variable space and oracle.
@@ -80,30 +94,59 @@ func NewCounter(space *solver.Space, oracle dist.Oracle) *Counter {
 		Space:     space,
 		Oracle:    oracle,
 		MCSamples: 20000,
-		cache:     map[string]prob.P{},
+		cache:     newShardedCache(),
 	}
 }
 
-// Stats returns a copy of the counter's instrumentation counters.
-func (c *Counter) Stats() Stats { return c.stats }
+// Stats returns a snapshot of the counter's instrumentation counters.
+func (c *Counter) Stats() Stats {
+	return Stats{
+		Queries:      int(c.stats.queries.Load()),
+		CacheHits:    int(c.stats.cacheHits.Load()),
+		ExactClasses: int(c.stats.exactClasses.Load()),
+		ExactPairs:   int(c.stats.exactPairs.Load()),
+		MCFallbacks:  int(c.stats.mcFallbacks.Load()),
+	}
+}
+
+// CacheMetrics is the sharded-cache view on its own: shard count, resident
+// entries, and how often a worker found a shard lock held (the contention
+// signal the obs registry and the run report expose).
+func (c *Counter) CacheMetrics() map[string]float64 {
+	m := map[string]float64{"cache_shards": float64(numShards)}
+	if c.cache != nil {
+		m["cache_entries"] = float64(c.cache.entries.Load())
+		m["cache_shard_contention"] = float64(c.cache.contention.Load())
+	}
+	return m
+}
+
+// Metrics extends Stats.Metrics with the sharded-cache view.
+func (c *Counter) Metrics() map[string]float64 {
+	m := c.Stats().Metrics()
+	for k, v := range c.CacheMetrics() {
+		m[k] = v
+	}
+	return m
+}
 
 // ProbOf returns the probability that a random packet sequence (fields
 // drawn independently per the oracle's marginals) satisfies the
-// conjunction.
+// conjunction. Concurrent callers with the same conjunction single-flight:
+// one computes, the rest block on its result and count as cache hits.
 func (c *Counter) ProbOf(cs []solver.Constraint) prob.P {
-	c.stats.Queries++
-	key := cacheKey(cs)
-	if !c.DisableCache {
-		if p, ok := c.cache[key]; ok {
-			c.stats.CacheHits++
-			return p
-		}
+	c.stats.queries.Add(1)
+	if c.DisableCache || c.cache == nil {
+		return c.ProbOfSystem(solver.Build(cs, c.Space))
 	}
-	sys := solver.Build(cs, c.Space)
-	p := c.ProbOfSystem(sys)
-	if !c.DisableCache {
-		c.cache[key] = p
+	e, existed := c.cache.lookupOrClaim(cacheKey(cs))
+	if existed {
+		c.stats.cacheHits.Add(1)
+		<-e.done
+		return e.p
 	}
+	p := c.ProbOfSystem(solver.Build(cs, c.Space))
+	c.cache.publish(e, p)
 	return p
 }
 
@@ -118,30 +161,21 @@ func (c *Counter) ProbOfSystem(sys *solver.System) prob.P {
 		var p prob.P
 		switch {
 		case c.ForceMC:
-			c.stats.MCFallbacks++
+			c.stats.mcFallbacks.Add(1)
 			p = c.monteCarlo(sys, comp)
 		case len(comp.roots) == 1 && len(comp.generic) == 0 && len(comp.diffs) == 0 && len(comp.neqs) == 0:
-			c.stats.ExactClasses++
+			c.stats.exactClasses.Add(1)
 			p = prob.FromFloat(c.classMass(sys, comp.roots[0]))
 		case len(comp.roots) == 2 && len(comp.generic) == 0:
-			c.stats.ExactPairs++
+			c.stats.exactPairs.Add(1)
 			p = c.pairProb(sys, comp)
 		default:
-			c.stats.MCFallbacks++
+			c.stats.mcFallbacks.Add(1)
 			p = c.monteCarlo(sys, comp)
 		}
 		result = result.Mul(p)
 	}
 	return result
-}
-
-func cacheKey(cs []solver.Constraint) string {
-	ss := make([]string, len(cs))
-	for i, c := range cs {
-		ss[i] = c.String()
-	}
-	sort.Strings(ss)
-	return strings.Join(ss, "&")
 }
 
 // component groups roots linked by diffs, neqs, or generic constraints.

@@ -15,6 +15,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/ir"
 )
@@ -249,14 +250,20 @@ func (c Constraint) String() string {
 
 // Space carries the variable domains of a constraint system: header field
 // bit widths plus explicit per-variable overrides for havoc variables.
+// Domain registration and lookup are safe for concurrent use: engine workers
+// register havoc domains while sibling workers run feasibility checks, and
+// model-counting workers read domains while resolving marginals. FieldBits
+// is immutable after construction and read without locking.
 type Space struct {
 	FieldBits map[string]int
-	VarDomain map[Var]Interval
+
+	mu        sync.RWMutex
+	varDomain map[Var]Interval
 }
 
 // NewSpace builds a Space from header field declarations.
 func NewSpace(fields []ir.Field) *Space {
-	s := &Space{FieldBits: make(map[string]int, len(fields)), VarDomain: map[Var]Interval{}}
+	s := &Space{FieldBits: make(map[string]int, len(fields)), varDomain: map[Var]Interval{}}
 	for _, f := range fields {
 		s.FieldBits[f.Name] = f.Bits
 	}
@@ -264,11 +271,18 @@ func NewSpace(fields []ir.Field) *Space {
 }
 
 // SetDomain overrides the domain of one variable (used for havoc vars).
-func (s *Space) SetDomain(v Var, iv Interval) { s.VarDomain[v] = iv }
+func (s *Space) SetDomain(v Var, iv Interval) {
+	s.mu.Lock()
+	s.varDomain[v] = iv
+	s.mu.Unlock()
+}
 
 // Domain returns the domain interval of a variable.
 func (s *Space) Domain(v Var) Interval {
-	if iv, ok := s.VarDomain[v]; ok {
+	s.mu.RLock()
+	iv, ok := s.varDomain[v]
+	s.mu.RUnlock()
+	if ok {
 		return iv
 	}
 	if bits, ok := s.FieldBits[v.Field]; ok {
@@ -280,12 +294,14 @@ func (s *Space) Domain(v Var) Interval {
 
 // Clone returns a deep copy of the Space.
 func (s *Space) Clone() *Space {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	c := &Space{
 		FieldBits: s.FieldBits, // immutable after construction
-		VarDomain: make(map[Var]Interval, len(s.VarDomain)),
+		varDomain: make(map[Var]Interval, len(s.varDomain)),
 	}
-	for k, v := range s.VarDomain {
-		c.VarDomain[k] = v
+	for k, v := range s.varDomain {
+		c.varDomain[k] = v
 	}
 	return c
 }

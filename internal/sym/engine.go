@@ -4,11 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/greybox"
 	"repro/internal/ir"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/prob"
 	"repro/internal/solver"
 )
@@ -56,6 +60,15 @@ type Options struct {
 	Ctx context.Context
 	// Tracer receives per-step events; nil (the default) is a no-op.
 	Tracer *obs.Tracer
+	// Workers is the degree of parallelism for frontier stepping (<= 0
+	// selects runtime.GOMAXPROCS). Output is bit-identical for every worker
+	// count: each input path executes in an isolated task and results are
+	// concatenated in input order.
+	Workers int
+	// Pool overrides the engine's worker pool, letting the profiler share
+	// one pool (and its utilization metrics) across exploration, counting,
+	// and sampling. Nil means the engine builds its own from Workers.
+	Pool *par.Pool
 }
 
 // Stats counts engine work.
@@ -83,14 +96,37 @@ func (s Stats) Metrics() map[string]float64 {
 }
 
 // Engine interprets one program symbolically.
+//
+// Step fans the frontier out across a worker pool: every input path runs in
+// an isolated task (a worker view of the engine with its own stats and havoc
+// namespace) and the forked outputs are concatenated in input order, so the
+// result — path ordering, fork counts, havoc variable names — is
+// bit-identical for every worker count.
 type Engine struct {
 	Prog  *ir.Program
 	Space *solver.Space
 	Opts  Options
 	Stats Stats
 
-	havocN       int
-	tblEntryVars map[string][][]solver.Var
+	pool *par.Pool
+	tbl  *tableVars
+
+	// Worker-view state: each Step task executes on a shallow copy of the
+	// engine carrying its own havoc namespace, local stats, and a handle on
+	// the step's shared live-path counter.
+	havocN  int
+	havocNS string
+	live    *atomic.Int64
+	tick    int
+}
+
+// tableVars holds the lazily created persistent key variables of symbolic
+// table entries, shared across worker views behind a mutex. The variables'
+// names depend only on the table, so whichever worker creates them first
+// registers the same set a sequential run would.
+type tableVars struct {
+	mu sync.Mutex
+	m  map[string][][]solver.Var
 }
 
 // NewEngine builds an engine; the Space is created from the program's
@@ -99,30 +135,95 @@ func NewEngine(p *ir.Program, opts Options) *Engine {
 	if opts.MaxPaths == 0 {
 		opts.MaxPaths = 1 << 20
 	}
-	return &Engine{Prog: p, Space: solver.NewSpace(p.Fields), Opts: opts}
+	pool := opts.Pool
+	if pool == nil {
+		pool = par.New(opts.Workers, opts.Tracer, "sym")
+	}
+	return &Engine{Prog: p, Space: solver.NewSpace(p.Fields), Opts: opts,
+		pool: pool, tbl: &tableVars{m: map[string][][]solver.Var{}}}
 }
+
+// Pool returns the engine's worker pool (shared with the profiler when
+// Options.Pool was set).
+func (e *Engine) Pool() *par.Pool { return e.pool }
 
 // Initial returns the empty-state starting path set.
 func (e *Engine) Initial() []*Path {
 	return []*Path{NewPath(e.Prog)}
 }
 
+// workerView builds the execution context for one Step task: a shallow copy
+// sharing the program, space, options, pool, and table variables, but with
+// zeroed stats and a havoc namespace derived from (packet, task index) so
+// fresh-variable names do not depend on the schedule.
+func (e *Engine) workerView(pkt, task int, live *atomic.Int64) *Engine {
+	w := *e
+	w.Stats = Stats{}
+	w.havocN = 0
+	w.havocNS = strconv.Itoa(pkt) + "_" + strconv.Itoa(task) + "_"
+	w.live = live
+	w.tick = 0
+	return &w
+}
+
+// add accumulates worker-view stats; plain integer sums, so folding the
+// per-task stats in input order reproduces the sequential totals exactly.
+func (s *Stats) add(o Stats) {
+	s.Forks += o.Forks
+	s.PathsExplored += o.PathsExplored
+	s.FeasibilityChk += o.FeasibilityChk
+	s.Merges += o.Merges
+	s.ArrayBytes += o.ArrayBytes
+	s.PrunedPaths += o.PrunedPaths
+	s.GreyArms += o.GreyArms
+}
+
 // Step processes one more symbolic packet (index pkt) on every path,
 // returning the forked path set. The caller reads per-packet visit sets and
-// probabilities off the returned paths before the next Step.
+// probabilities off the returned paths before the next Step. Input paths
+// are disjoint object graphs (forks clone before mutating), so tasks are
+// independent; the shared live counter keeps the MaxPaths budget global.
 func (e *Engine) Step(paths []*Path, pkt int) ([]*Path, error) {
-	var out []*Path
-	for _, p := range paths {
-		if err := e.checkBudget(len(out)); err != nil {
-			return nil, err
+	ctx := e.Opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([][]*Path, len(paths))
+	stats := make([]Stats, len(paths))
+	var live atomic.Int64
+	err := e.pool.Run(ctx, len(paths), func(i int) error {
+		w := e.workerView(pkt, i, &live)
+		defer func() { stats[i] = w.Stats }()
+		if err := w.checkBudget(0); err != nil {
+			return err
 		}
+		p := paths[i]
 		p.resetPacket()
-		e.pinLayout(p, pkt)
-		nps, err := e.exec(p, e.Prog.Root, pkt)
+		w.pinLayout(p, pkt)
+		nps, err := w.exec(p, e.Prog.Root, pkt)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, nps...)
+		results[i] = nps
+		live.Add(int64(len(nps)))
+		return nil
+	})
+	for i := range stats {
+		e.Stats.add(stats[i])
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, ErrBudget
+		}
+		return nil, err
+	}
+	total := 0
+	for i := range results {
+		total += len(results[i])
+	}
+	out := make([]*Path, 0, total)
+	for i := range results {
+		out = append(out, results[i]...)
 	}
 	e.Stats.PathsExplored += len(out)
 	if len(out) > e.Opts.MaxPaths {
@@ -159,8 +260,11 @@ func (e *Engine) Run(t int) ([]*Path, error) {
 	return paths, nil
 }
 
-func (e *Engine) checkBudget(live int) error {
-	if live > e.Opts.MaxPaths {
+func (e *Engine) checkBudget(local int) error {
+	if e.live != nil {
+		local += int(e.live.Load())
+	}
+	if local > e.Opts.MaxPaths {
 		return ErrBudget
 	}
 	if e.Opts.Ctx != nil {
@@ -176,10 +280,26 @@ func (e *Engine) checkBudget(live int) error {
 	return nil
 }
 
+// tickBudget is the stride-based budget check for fork-free hot loops
+// (greybox store updates, baseline aliasing scans): every 64th call runs the
+// full deadline/cancellation check, so a step that grows no paths — and thus
+// never reaches a fork-point check — still honors the Deadline.
+func (e *Engine) tickBudget(local int) error {
+	e.tick++
+	if e.tick%64 != 0 {
+		return nil
+	}
+	return e.checkBudget(local)
+}
+
 // ---- expression evaluation ----
 
+// havoc mints a fresh unknown. Names are namespaced by the worker view's
+// (packet, task) coordinates rather than a global counter, so they are
+// identical for every worker count — a schedule-dependent name would leak
+// into constraint strings and break bit-identical profiles.
 func (e *Engine) havoc(pkt int, dom solver.Interval) Value {
-	name := fmt.Sprintf("__h%d", e.havocN)
+	name := "__h" + e.havocNS + strconv.Itoa(e.havocN)
 	e.havocN++
 	v := solver.Var{Pkt: pkt, Field: name}
 	e.Space.SetDomain(v, dom)

@@ -245,6 +245,9 @@ func (e *Engine) runArms(p *Path, arms []grArm, pkt int) ([]*Path, error) {
 		if a.pr <= 0 {
 			continue
 		}
+		if err := e.tickBudget(len(out)); err != nil {
+			return nil, err
+		}
 		used++
 		e.Stats.GreyArms++
 		q := p
@@ -317,6 +320,11 @@ func (e *Engine) sketch(p *Path, name string) *greybox.SketchStore {
 }
 
 func (e *Engine) execSketchUpdateGrey(p *Path, s *ir.SketchUpdate, pkt int) ([]*Path, error) {
+	// Fork-free statement: the stride check is the only budget touchpoint a
+	// long run of sketch updates ever hits (see Options.Deadline).
+	if err := e.tickBudget(0); err != nil {
+		return nil, err
+	}
 	st := e.sketch(p, s.Sketch)
 	inc := int64(1)
 	if s.Inc != nil {
@@ -565,12 +573,13 @@ func (e *Engine) execTable(p *Path, t *ir.TableApply, pkt int) ([]*Path, error) 
 
 // tableEntryVars lazily creates the persistent key variables of a table's
 // symbolic entries. Domains follow the key fields' widths where the keys
-// are plain field references.
+// are plain field references. The registry is shared across worker views
+// behind a mutex; the variable names depend only on the table, so the set
+// is the same regardless of which worker populates it first.
 func (e *Engine) tableEntryVars(tbl *ir.TableDecl, numKeys int) [][]solver.Var {
-	if e.tblEntryVars == nil {
-		e.tblEntryVars = map[string][][]solver.Var{}
-	}
-	if vs, ok := e.tblEntryVars[tbl.Name]; ok {
+	e.tbl.mu.Lock()
+	defer e.tbl.mu.Unlock()
+	if vs, ok := e.tbl.m[tbl.Name]; ok {
 		return vs
 	}
 	vs := make([][]solver.Var, tbl.SymbolicEntries)
@@ -590,6 +599,6 @@ func (e *Engine) tableEntryVars(tbl *ir.TableDecl, numKeys int) [][]solver.Var {
 			vs[i][j] = v
 		}
 	}
-	e.tblEntryVars[tbl.Name] = vs
+	e.tbl.m[tbl.Name] = vs
 	return vs
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/mc"
+	"repro/internal/par"
 	"repro/internal/prob"
 )
 
@@ -17,6 +18,21 @@ func PathProb(p *Path, counter *mc.Counter) prob.P {
 	return pr
 }
 
+// pathProbs fans the per-path model-counting queries — the dominant cost of
+// both merging and per-iteration probability updates — out across the pool,
+// writing each result to its own slot. The reduction over the slots stays
+// sequential in input order because prob.P addition is log-sum-exp and
+// therefore not associative: only this split keeps parallel output
+// bit-identical to sequential.
+func pathProbs(ctx context.Context, paths []*Path, counter *mc.Counter, pool *par.Pool) ([]prob.P, error) {
+	prs := make([]prob.P, len(paths))
+	err := pool.Run(ctx, len(paths), func(i int) error {
+		prs[i] = PathProb(paths[i], counter)
+		return nil
+	})
+	return prs, err
+}
+
 // Merge coalesces paths whose persistent state is fully concrete and
 // identical: their open path conditions are folded into the Base
 // probability (via the model counter) and dropped. Future behaviour of a
@@ -27,7 +43,7 @@ func PathProb(p *Path, counter *mc.Counter) prob.P {
 // Merged paths lose per-path action/havoc logs (profiling does not need
 // them); test generation runs the engine unmerged.
 func Merge(paths []*Path, counter *mc.Counter) []*Path {
-	out, _ := MergeCtx(context.Background(), paths, counter)
+	out, _ := MergePool(context.Background(), paths, counter, nil)
 	return out
 }
 
@@ -36,19 +52,37 @@ func Merge(paths []*Path, counter *mc.Counter) []*Path {
 // where a profiling deadline would otherwise overshoot. On cancellation it
 // returns the input paths unmerged together with the context error.
 func MergeCtx(ctx context.Context, paths []*Path, counter *mc.Counter) ([]*Path, error) {
+	return MergePool(ctx, paths, counter, nil)
+}
+
+// MergePool is MergeCtx with the model-counting queries fanned out across
+// the pool (nil runs inline). The grouping fold itself is sequential in
+// input order, so the merged path set is identical for every worker count.
+func MergePool(ctx context.Context, paths []*Path, counter *mc.Counter, pool *par.Pool) ([]*Path, error) {
+	// Only mergeable paths get counted (non-mergeable ones pass through with
+	// their PC intact), so the mergeability scan runs first.
+	mergeable := make([]*Path, 0, len(paths))
+	for _, p := range paths {
+		if p.StateMergeable() {
+			mergeable = append(mergeable, p)
+		}
+	}
+	prs, err := pathProbs(ctx, mergeable, counter, pool)
+	if err != nil {
+		return paths, err
+	}
 	groups := map[string]*Path{}
 	var order []string
 	var out []*Path
-	for i, p := range paths {
-		if i%64 == 0 && ctx.Err() != nil {
-			return paths, ctx.Err()
-		}
+	mi := 0
+	for _, p := range paths {
 		if !p.StateMergeable() {
 			out = append(out, p)
 			continue
 		}
 		key := p.StateKey()
-		pr := PathProb(p, counter)
+		pr := prs[mi]
+		mi++
 		if g, ok := groups[key]; ok {
 			g.Base = g.Base.Add(pr)
 			continue
@@ -71,7 +105,7 @@ func MergeCtx(ctx context.Context, paths []*Path, counter *mc.Counter) ([]*Path,
 // NodeProbs sums path probabilities per CFG node visited during the paths'
 // current packet: Pr_t[N] = Σ_{p visits N} Pr[p].
 func NodeProbs(paths []*Path, counter *mc.Counter, numNodes int) []prob.P {
-	out, _ := NodeProbsCtx(context.Background(), paths, counter, numNodes)
+	out, _ := NodeProbsPool(context.Background(), paths, counter, numNodes, nil)
 	return out
 }
 
@@ -81,15 +115,23 @@ func NodeProbs(paths []*Path, counter *mc.Counter, numNodes int) []prob.P {
 // partial sums are returned along with the context error; callers must
 // discard them.
 func NodeProbsCtx(ctx context.Context, paths []*Path, counter *mc.Counter, numNodes int) ([]prob.P, error) {
+	return NodeProbsPool(ctx, paths, counter, numNodes, nil)
+}
+
+// NodeProbsPool is NodeProbsCtx with the model-counting queries fanned out
+// across the pool (nil runs inline); the per-node accumulation stays
+// sequential in path order for bit-identical sums.
+func NodeProbsPool(ctx context.Context, paths []*Path, counter *mc.Counter, numNodes int, pool *par.Pool) ([]prob.P, error) {
 	out := make([]prob.P, numNodes)
 	for i := range out {
 		out[i] = prob.Zero()
 	}
+	prs, err := pathProbs(ctx, paths, counter, pool)
+	if err != nil {
+		return out, err
+	}
 	for i, p := range paths {
-		if i%64 == 0 && ctx.Err() != nil {
-			return out, ctx.Err()
-		}
-		pr := PathProb(p, counter)
+		pr := prs[i]
 		if pr.IsZero() {
 			continue
 		}

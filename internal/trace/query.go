@@ -2,6 +2,7 @@ package trace
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/dist"
 )
@@ -14,9 +15,15 @@ import (
 // empirical histogram; pair-equality queries (e.g. "how often does a flow
 // repeat a seq?") are answered from within-flow adjacent packet pairs,
 // which is exactly the correlation retransmission-style constraints need.
+//
+// All methods are safe for concurrent use: parallel model-counting workers
+// hit the oracle simultaneously, so the caches and counters sit behind one
+// mutex (queries are cheap relative to the counting they feed — a sharded
+// cache here would be over-engineering).
 type QueryProcessor struct {
 	tr *Trace
 
+	mu        sync.Mutex
 	distCache map[string]dist.Dist
 	pairCache map[string]float64
 	queries   int
@@ -33,15 +40,25 @@ func NewQueryProcessor(tr *Trace) *QueryProcessor {
 }
 
 // QueryCount implements dist.Oracle.
-func (q *QueryProcessor) QueryCount() int { return q.queries }
+func (q *QueryProcessor) QueryCount() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.queries
+}
 
 // Scans reports how many full trace scans were performed (cache misses).
-func (q *QueryProcessor) Scans() int { return q.scans }
+func (q *QueryProcessor) Scans() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.scans
+}
 
 // FieldDist implements dist.Oracle. Distributions for low-cardinality
 // fields are exact (one point piece per value); high-cardinality fields are
 // bucketed into up to 64 quantile ranges.
 func (q *QueryProcessor) FieldDist(field string) (dist.Dist, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	q.queries++
 	if d, ok := q.distCache[field]; ok {
 		return d, true
@@ -88,7 +105,9 @@ func (q *QueryProcessor) FieldDist(field string) (dist.Dist, bool) {
 // FieldDistNoCache recomputes a marginal bypassing the cache (for the
 // query-cache ablation).
 func (q *QueryProcessor) FieldDistNoCache(field string) (dist.Dist, bool) {
+	q.mu.Lock()
 	delete(q.distCache, field)
+	q.mu.Unlock()
 	return q.FieldDist(field)
 }
 
@@ -96,6 +115,8 @@ func (q *QueryProcessor) FieldDistNoCache(field string) (dist.Dist, bool) {
 // adjacent packet pairs whose field values coincide. For "seq" this is the
 // retransmission ratio; for IPD-like fields it measures timing regularity.
 func (q *QueryProcessor) PairEqualProb(field string) (float64, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
 	q.queries++
 	if p, ok := q.pairCache[field]; ok {
 		return p, true
@@ -129,8 +150,10 @@ func (q *QueryProcessor) PairEqualProb(field string) (float64, bool) {
 // RatioWhere returns the fraction of packets for which pred holds — the
 // general-purpose query form ("what fraction of traffic is TCP SYN?").
 func (q *QueryProcessor) RatioWhere(pred func(*Packet) bool) float64 {
+	q.mu.Lock()
 	q.queries++
 	q.scans++
+	q.mu.Unlock()
 	if len(q.tr.Packets) == 0 {
 		return 0
 	}
@@ -146,8 +169,10 @@ func (q *QueryProcessor) RatioWhere(pred func(*Packet) bool) float64 {
 // TopValues returns the k most frequent values of a field, most frequent
 // first (used to pick NetCache hot keys and similar workload facts).
 func (q *QueryProcessor) TopValues(field string, k int) []uint64 {
+	q.mu.Lock()
 	q.queries++
 	q.scans++
+	q.mu.Unlock()
 	vals, counts := q.tr.FieldValues(field)
 	type vc struct {
 		v uint64
