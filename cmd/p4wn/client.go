@@ -1,0 +1,319 @@
+package main
+
+// Client side of the p4wnd daemon: submit/status/result/cancel speak the
+// JSON HTTP API documented on cmd/p4wnd. The daemon address comes from
+// -addr, falling back to the P4WND_ADDR environment variable, falling back
+// to the default local port.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+const defaultDaemonAddr = "http://127.0.0.1:8471"
+
+// addrFlag registers the shared -addr flag.
+func addrFlag(fs *flag.FlagSet) *string {
+	def := defaultDaemonAddr
+	if env := os.Getenv("P4WND_ADDR"); env != "" {
+		def = env
+	}
+	return fs.String("addr", def, "p4wnd base URL (or set P4WND_ADDR)")
+}
+
+// baseURL canonicalizes the daemon address: a bare host:port gets the
+// http scheme, trailing slashes go away.
+func baseURL(addr string) string {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimRight(addr, "/")
+}
+
+// apiError extracts the server's error envelope, falling back to the
+// status line for non-JSON bodies.
+func apiError(resp *http.Response, body []byte) error {
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+		return fmt.Errorf("%s: %s", resp.Status, eb.Error)
+	}
+	return fmt.Errorf("%s", resp.Status)
+}
+
+// doJSON performs one API request and decodes a JSON response into out
+// (skipped when out is nil). Non-2xx responses become errors carrying the
+// server's message.
+func doJSON(method, url string, reqBody, out any) error {
+	var rd io.Reader
+	if reqBody != nil {
+		data, err := json.Marshal(reqBody)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return err
+	}
+	if reqBody != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp, body)
+	}
+	if out != nil {
+		return json.Unmarshal(body, out)
+	}
+	return nil
+}
+
+func printStatusTo(w io.Writer, st serve.JobStatus) {
+	line := fmt.Sprintf("%s  %-11s %s", st.ID, st.State, st.Kind)
+	if st.Cached {
+		line += "  (cached)"
+	}
+	if st.Error != "" {
+		line += "  error: " + st.Error
+	}
+	fmt.Fprintln(w, line)
+}
+
+func printStatus(st serve.JobStatus) { printStatusTo(os.Stdout, st) }
+
+// runSubmit enqueues a profiling or adversarial job on the daemon and
+// prints the job ID; with -follow it then streams progress and prints the
+// result JSON to stdout once the job finishes.
+func runSubmit(args []string) {
+	fs := newFlagSet("submit", "submit (-prog name | -file prog.p4w) [-target label] [-uniform] [-scale quick|default|full] [-seed n] [-priority n] [-job-timeout d] [-follow] [-addr url]")
+	addr := addrFlag(fs)
+	progName := fs.String("prog", "", "zoo program name")
+	progFile := fs.String("file", "", "mini-language source file (alternative to -prog)")
+	target := fs.String("target", "", "code-block label: submit an adversarial job")
+	uniform := fs.Bool("uniform", false, "profile against the uniform header space")
+	scale := fs.String("scale", "", "options preset: quick, default, or full")
+	seed := fs.Int64("seed", 1, "random seed (matches `p4wn profile`'s default)")
+	priority := fs.Int("priority", 0, "queue priority (higher runs first)")
+	jobTimeout := fs.Duration("job-timeout", 0, "per-job wall-clock bound (0 = server default)")
+	follow := fs.Bool("follow", false, "stream progress, then print the result JSON")
+	parseFlags(fs, args)
+
+	spec := serve.JobSpec{
+		Program:    *progName,
+		Uniform:    *uniform,
+		Target:     *target,
+		Scale:      *scale,
+		Options:    core.WireOptions{Seed: *seed},
+		Priority:   *priority,
+		TimeoutSec: jobTimeout.Seconds(),
+	}
+	if *target != "" {
+		spec.Kind = serve.KindAdversarial
+	}
+	if *progFile != "" {
+		src, err := os.ReadFile(*progFile)
+		if err != nil {
+			fatal(err)
+		}
+		spec.Source = string(src)
+	}
+	if (spec.Program == "") == (spec.Source == "") {
+		fmt.Fprintln(os.Stderr, "p4wn submit: needs exactly one of -prog, -file")
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	base := baseURL(*addr)
+	var st serve.JobStatus
+	if err := doJSON(http.MethodPost, base+"/v1/jobs", spec, &st); err != nil {
+		fatal(err)
+	}
+	if !*follow {
+		printStatus(st)
+		return
+	}
+	// Following: stdout carries only the result JSON; the status line and
+	// progress stream go to stderr.
+	printStatusTo(os.Stderr, st)
+	if !st.Cached {
+		if err := followEvents(base, st.ID); err != nil {
+			fatal(err)
+		}
+	}
+	if err := fetchResult(base, st.ID, os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// followEvents streams the job's SSE progress feed to stderr until the
+// daemon sends the terminal "done" event.
+func followEvents(base, id string) error {
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		return apiError(resp, body)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			if event == "done" {
+				fmt.Fprintf(os.Stderr, "job %s: %s\n", id, data)
+				return nil
+			}
+			fmt.Fprintln(os.Stderr, data)
+		}
+	}
+	return sc.Err()
+}
+
+// fetchResult downloads the stored result JSON, retrying briefly while the
+// job is still finishing (the SSE done event can beat result persistence).
+func fetchResult(base, id string, w io.Writer) error {
+	url := base + "/v1/jobs/" + id + "/result"
+	var lastErr error
+	for attempt := 0; attempt < 40; attempt++ {
+		resp, err := http.Get(url)
+		if err != nil {
+			return err
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			_, err := w.Write(body)
+			return err
+		case http.StatusAccepted:
+			lastErr = fmt.Errorf("job %s still %s", id, jobStateOf(body))
+			time.Sleep(250 * time.Millisecond)
+		default:
+			return apiError(resp, body)
+		}
+	}
+	return lastErr
+}
+
+func jobStateOf(body []byte) string {
+	var st serve.JobStatus
+	if json.Unmarshal(body, &st) == nil && st.State != "" {
+		return string(st.State)
+	}
+	return "pending"
+}
+
+// runStatus prints one job's status, or every job the daemon knows about.
+func runStatus(args []string) {
+	fs := newFlagSet("status", "status [-id job] [-addr url]")
+	addr := addrFlag(fs)
+	id := fs.String("id", "", "job ID (omit to list all jobs)")
+	parseFlags(fs, args)
+
+	base := baseURL(*addr)
+	if *id != "" {
+		var st serve.JobStatus
+		if err := doJSON(http.MethodGet, base+"/v1/jobs/"+*id, nil, &st); err != nil {
+			fatal(err)
+		}
+		printStatus(st)
+		return
+	}
+	var list struct {
+		Jobs []serve.JobStatus `json:"jobs"`
+	}
+	if err := doJSON(http.MethodGet, base+"/v1/jobs", nil, &list); err != nil {
+		fatal(err)
+	}
+	for _, st := range list.Jobs {
+		printStatus(st)
+	}
+}
+
+// runResult fetches a finished job's result JSON.
+func runResult(args []string) {
+	fs := newFlagSet("result", "result -id job [-o out.json] [-follow] [-addr url]")
+	addr := addrFlag(fs)
+	id := fs.String("id", "", "job ID")
+	out := fs.String("o", "", "write the result here instead of stdout")
+	follow := fs.Bool("follow", false, "wait for a queued/running job instead of failing")
+	parseFlags(fs, args)
+	if *id == "" {
+		fmt.Fprintln(os.Stderr, "p4wn result: -id required")
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	base := baseURL(*addr)
+	if *follow {
+		if err := followEvents(base, *id); err != nil {
+			fatal(err)
+		}
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := fetchResult(base, *id, w); err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote result to %s\n", *out)
+	}
+}
+
+// runCancel cancels a queued or running job.
+func runCancel(args []string) {
+	fs := newFlagSet("cancel", "cancel -id job [-addr url]")
+	addr := addrFlag(fs)
+	id := fs.String("id", "", "job ID")
+	parseFlags(fs, args)
+	if *id == "" {
+		fmt.Fprintln(os.Stderr, "p4wn cancel: -id required")
+		fs.Usage()
+		os.Exit(2)
+	}
+	var st serve.JobStatus
+	if err := doJSON(http.MethodDelete, baseURL(*addr)+"/v1/jobs/"+*id, nil, &st); err != nil {
+		fatal(err)
+	}
+	printStatus(st)
+}

@@ -1,6 +1,6 @@
 // Command p4wn is the CLI front end: list the program zoo, profile a
-// system, generate adversarial traces, and backtest traces against the
-// software switch.
+// system, generate adversarial traces, backtest traces against the
+// software switch — and talk to a running p4wnd daemon.
 //
 //	p4wn list
 //	p4wn lint -prog "Blink (S5)" [-deps]
@@ -20,12 +20,25 @@
 //	p4wn backtest -prog "Blink (S5)" -trace adv.pcap
 //	p4wn monitor -prog "Blink (S5)" -trace adv.pcap
 //
+// Service subcommands speak JSON over HTTP to a p4wnd daemon (-addr, or
+// P4WND_ADDR in the environment):
+//
+//	p4wn submit -file prog.p4w [-follow]     enqueue a profiling job
+//	p4wn submit -prog "Blink (S5)" -target reroute   adversarial job
+//	p4wn status [-id JOB]                    one job, or every known job
+//	p4wn result -id JOB [-o out.json]        fetch the stored result
+//	p4wn cancel -id JOB                      cancel a queued/running job
+//
 // Trace files ending in .pcap are written/read as libpcap captures
 // (replayable with standard tooling); any other extension uses the
 // repository's binary trace format.
+//
+// Every subcommand exits 2 with a one-line usage message on bad flags or
+// stray arguments, 1 on runtime errors (3 for monitor anomalies).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -45,53 +58,60 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	cmd := os.Args[1]
-	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
-	progName := fs.String("prog", "", "program name from `p4wn list`")
-	progFile := fs.String("file", "", "mini-language source file (alternative to -prog)")
-	target := fs.String("target", "", "target code-block label (adversarial)")
-	traceFile := fs.String("trace", "", "trace file to replay (backtest)")
-	out := fs.String("out", "", "output trace file (adversarial)")
-	seed := fs.Int64("seed", 1, "random seed")
-	uniform := fs.Bool("uniform", false, "profile against the uniform header space instead of a synthetic trace")
-	seconds := fs.Int("seconds", 10, "amplified workload duration (adversarial)")
-	pps := fs.Int("pps", 1000, "amplified workload rate (adversarial)")
-	lintAll := fs.Bool("all", false, "lint every zoo program (lint)")
-	lintDeps := fs.Bool("deps", false, "print the state-dependency graph (lint)")
-	workers := fs.Int("workers", 0, "profiler parallelism; 0 selects GOMAXPROCS (profile, monitor)")
-	verbose := fs.Bool("v", false, "stream per-iteration trace lines to stderr (profile)")
-	reportPath := fs.String("report", "", "write the JSON run report to this path (profile)")
-	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, expvar, and pprof on this address (profile)")
-	cpuProfile := fs.String("cpuprofile", "", "write a Go CPU profile to this path (profile)")
-	memProfile := fs.String("memprofile", "", "write a Go heap profile to this path (profile)")
-	if err := fs.Parse(os.Args[2:]); err != nil {
-		os.Exit(2)
-	}
-
-	switch cmd {
-	case "list":
-		cmdList()
-	case "lint":
-		cmdLint(*progName, *progFile, *lintAll, *lintDeps)
-	case "profile":
-		cmdProfile(*progName, *progFile, *seed, *uniform, *workers, obsFlags{
-			verbose: *verbose, report: *reportPath, metricsAddr: *metricsAddr,
-			cpuProfile: *cpuProfile, memProfile: *memProfile,
-		})
-	case "adversarial":
-		cmdAdversarial(*progName, *progFile, *target, *out, *seed, *seconds, *pps)
-	case "backtest":
-		cmdBacktest(*progName, *progFile, *traceFile)
-	case "monitor":
-		cmdMonitor(*progName, *traceFile, *seed, *workers)
-	default:
+	cmd, args := os.Args[1], os.Args[2:]
+	run, ok := commands[cmd]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "p4wn: unknown command %q\n", cmd)
 		usage()
 		os.Exit(2)
 	}
+	run(args)
+}
+
+// commands maps each subcommand to its runner. Every runner parses its own
+// flag set through parseFlags, so flag errors behave identically across
+// subcommands: one usage line on stderr, exit status 2.
+var commands = map[string]func(args []string){
+	"list":        runList,
+	"lint":        runLint,
+	"profile":     runProfile,
+	"adversarial": runAdversarial,
+	"backtest":    runBacktest,
+	"monitor":     runMonitor,
+	"submit":      runSubmit,
+	"status":      runStatus,
+	"result":      runResult,
+	"cancel":      runCancel,
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: p4wn <list|lint|profile|adversarial|backtest|monitor> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: p4wn <list|lint|profile|adversarial|backtest|monitor|submit|status|result|cancel> [flags]")
+}
+
+// newFlagSet builds a subcommand flag set with the uniform error
+// behaviour: its usage is the single synopsis line.
+func newFlagSet(name, synopsis string) *flag.FlagSet {
+	fs := flag.NewFlagSet("p4wn "+name, flag.ContinueOnError)
+	fs.Usage = func() { fmt.Fprintln(os.Stderr, "usage: p4wn "+synopsis) }
+	return fs
+}
+
+// parseFlags applies the shared parse discipline: -h/-help exits 0 after
+// the usage line; any other flag error exits 2 (the flag package has
+// already printed the error and the usage line); stray positional
+// arguments are rejected the same way.
+func parseFlags(fs *flag.FlagSet, args []string) {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		os.Exit(2)
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "%s: unexpected argument %q\n", fs.Name(), fs.Arg(0))
+		fs.Usage()
+		os.Exit(2)
+	}
 }
 
 func fatal(err error) {
@@ -143,7 +163,9 @@ func loadProgram(name, file string, seed int64) (*p4wn.Program, p4wn.Oracle) {
 	return m.Build(), p4wn.TraceOracle(p4wn.GenerateTraffic(m.Workload(seed)))
 }
 
-func cmdList() {
+func runList(args []string) {
+	fs := newFlagSet("list", "list")
+	parseFlags(fs, args)
 	fmt.Printf("%-20s %6s %9s %s\n", "name", "LoC", "stateful", "structures")
 	for _, m := range p4wn.Systems() {
 		structs := ""
@@ -167,27 +189,36 @@ func cmdList() {
 	}
 }
 
-// cmdLint runs the static-analysis suite and prints every diagnostic with
+// runLint runs the static-analysis suite and prints every diagnostic with
 // its block label. The exit code is non-zero when any program has
 // error-severity findings (malformed IR).
-func cmdLint(name, file string, all, deps bool) {
+func runLint(args []string) {
+	fs := newFlagSet("lint", "lint (-prog name | -file prog.p4w | -all) [-deps]")
+	progName := fs.String("prog", "", "program name from `p4wn list`")
+	progFile := fs.String("file", "", "mini-language source file (alternative to -prog)")
+	all := fs.Bool("all", false, "lint every zoo program")
+	deps := fs.Bool("deps", false, "print the state-dependency graph")
+	parseFlags(fs, args)
+
 	var progs []*p4wn.Program
 	switch {
-	case all:
+	case *all:
 		for _, m := range p4wn.Systems() {
 			progs = append(progs, m.Build())
 		}
-	case name != "" || file != "":
-		progs = append(progs, buildProgram(name, file, true))
+	case *progName != "" || *progFile != "":
+		progs = append(progs, buildProgram(*progName, *progFile, true))
 	default:
-		fatal(fmt.Errorf("lint needs -prog, -file, or -all"))
+		fmt.Fprintln(os.Stderr, "p4wn lint: needs -prog, -file, or -all")
+		fs.Usage()
+		os.Exit(2)
 	}
 	errors := 0
 	for _, prog := range progs {
 		r := p4wn.Lint(prog)
 		fmt.Print(r)
 		errors += r.Errors()
-		if deps && r.Deps != nil {
+		if *deps && r.Deps != nil {
 			fmt.Print(r.Deps)
 		}
 	}
@@ -196,34 +227,37 @@ func cmdLint(name, file string, all, deps bool) {
 	}
 }
 
-// obsFlags bundles the observability flags shared by profile (and, over
-// time, other long-running subcommands).
-type obsFlags struct {
-	verbose     bool
-	report      string
-	metricsAddr string
-	cpuProfile  string
-	memProfile  string
-}
+func runProfile(args []string) {
+	fs := newFlagSet("profile", "profile (-prog name | -file prog.p4w) [-uniform] [-seed n] [-workers n] [-v] [-report out.json] [-metrics-addr host:port] [-cpuprofile f] [-memprofile f]")
+	progName := fs.String("prog", "", "program name from `p4wn list`")
+	progFile := fs.String("file", "", "mini-language source file (alternative to -prog)")
+	seed := fs.Int64("seed", 1, "random seed")
+	uniform := fs.Bool("uniform", false, "profile against the uniform header space instead of a synthetic trace")
+	workers := fs.Int("workers", 0, "profiler parallelism; 0 selects GOMAXPROCS")
+	verbose := fs.Bool("v", false, "stream per-iteration trace lines to stderr")
+	reportPath := fs.String("report", "", "write the JSON run report to this path")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, expvar, and pprof on this address for the run")
+	cpuProfile := fs.String("cpuprofile", "", "write a Go CPU profile to this path")
+	memProfile := fs.String("memprofile", "", "write a Go heap profile to this path")
+	parseFlags(fs, args)
 
-func cmdProfile(name, file string, seed int64, uniform bool, workers int, of obsFlags) {
-	prog, oracle := loadProgram(name, file, seed)
-	if uniform {
+	prog, oracle := loadProgram(*progName, *progFile, *seed)
+	if *uniform {
 		oracle = nil
 	}
 
-	stopProfiles, err := obs.StartProfiles(of.cpuProfile, of.memProfile)
+	stopProfiles, err := obs.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {
 		fatal(err)
 	}
-	opt := p4wn.ProfileOptions{Seed: seed, Workers: workers}
-	if of.verbose {
+	opt := p4wn.ProfileOptions{Seed: *seed, Workers: *workers}
+	if *verbose {
 		opt.Tracer = obs.NewTracer(os.Stderr)
 	}
 	reg := obs.NewRegistry()
 	opt.Registry = reg
-	if of.metricsAddr != "" {
-		addr, closeSrv, err := obs.ServeMetrics(of.metricsAddr, reg)
+	if *metricsAddr != "" {
+		addr, closeSrv, err := obs.ServeMetrics(*metricsAddr, reg)
 		if err != nil {
 			fatal(err)
 		}
@@ -240,50 +274,58 @@ func cmdProfile(name, file string, seed int64, uniform bool, workers int, of obs
 	rep := p4wn.Report(prof, opt)
 	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 	fmt.Print(rep.Summary())
-	if of.report != "" {
-		if err := obs.WriteJSONAtomic(of.report, rep); err != nil {
+	if *reportPath != "" {
+		if err := obs.WriteJSONAtomic(*reportPath, rep); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote run report to %s\n", of.report)
+		fmt.Printf("wrote run report to %s\n", *reportPath)
 	}
 	if err := stopProfiles(); err != nil {
 		fatal(err)
 	}
 }
 
-func cmdAdversarial(name, file, target, out string, seed int64, seconds, pps int) {
-	prog, _ := loadProgram(name, file, seed)
-	if target == "" {
-		fatal(fmt.Errorf("-target required (a block label from `p4wn profile`)"))
+func runAdversarial(args []string) {
+	fs := newFlagSet("adversarial", "adversarial (-prog name | -file prog.p4w) -target label [-out adv.pcap] [-seed n] [-seconds n] [-pps n]")
+	progName := fs.String("prog", "", "program name from `p4wn list`")
+	progFile := fs.String("file", "", "mini-language source file (alternative to -prog)")
+	target := fs.String("target", "", "target code-block label")
+	out := fs.String("out", "", "output trace file")
+	seed := fs.Int64("seed", 1, "random seed")
+	seconds := fs.Int("seconds", 10, "amplified workload duration")
+	pps := fs.Int("pps", 1000, "amplified workload rate")
+	parseFlags(fs, args)
+
+	prog, _ := loadProgram(*progName, *progFile, *seed)
+	if *target == "" {
+		fmt.Fprintln(os.Stderr, "p4wn adversarial: -target required (a block label from `p4wn profile`)")
+		fs.Usage()
+		os.Exit(2)
 	}
-	adv, err := p4wn.Adversarial(prog, target, p4wn.AdversarialOptions{Seed: seed})
+	adv, err := p4wn.Adversarial(prog, *target, p4wn.AdversarialOptions{Seed: *seed})
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("generated %d seed packets for %s/%s (validated=%v)\n",
-		len(adv.Packets), prog.Name, target, adv.Validated)
+		len(adv.Packets), prog.Name, *target, adv.Validated)
 	fmt.Printf("  symbex %.3fs, solver %.3fs, havocing %.3fs\n",
 		adv.Decomp.Symbex.Seconds(), adv.Decomp.Solver.Seconds(), adv.Decomp.Havoc.Seconds())
-	if out != "" {
-		w := p4wn.Amplify(adv, seconds, pps)
+	if *out != "" {
+		w := p4wn.Amplify(adv, *seconds, *pps)
 		var werr error
-		if strings.HasSuffix(out, ".pcap") {
-			werr = w.WritePcapFile(out)
+		if strings.HasSuffix(*out, ".pcap") {
+			werr = w.WritePcapFile(*out)
 		} else {
-			werr = w.WriteFile(out)
+			werr = w.WriteFile(*out)
 		}
 		if werr != nil {
 			fatal(werr)
 		}
-		fmt.Printf("wrote %d-packet amplified workload to %s\n", w.Len(), out)
+		fmt.Printf("wrote %d-packet amplified workload to %s\n", w.Len(), *out)
 	}
 }
 
-func cmdBacktest(name, file, traceFile string) {
-	prog, _ := loadProgram(name, file, 1)
-	if traceFile == "" {
-		fatal(fmt.Errorf("-trace required"))
-	}
+func readTrace(traceFile string) *trace.Trace {
 	var tr *trace.Trace
 	var err error
 	if strings.HasSuffix(traceFile, ".pcap") {
@@ -294,6 +336,23 @@ func cmdBacktest(name, file, traceFile string) {
 	if err != nil {
 		fatal(err)
 	}
+	return tr
+}
+
+func runBacktest(args []string) {
+	fs := newFlagSet("backtest", "backtest (-prog name | -file prog.p4w) -trace file")
+	progName := fs.String("prog", "", "program name from `p4wn list`")
+	progFile := fs.String("file", "", "mini-language source file (alternative to -prog)")
+	traceFile := fs.String("trace", "", "trace file to replay")
+	parseFlags(fs, args)
+
+	prog, _ := loadProgram(*progName, *progFile, 1)
+	if *traceFile == "" {
+		fmt.Fprintln(os.Stderr, "p4wn backtest: -trace required")
+		fs.Usage()
+		os.Exit(2)
+	}
+	tr := readTrace(*traceFile)
 	metrics := p4wn.Backtest(prog, tr)
 	tot := metrics.Totals()
 	fmt.Printf("replayed %d packets over %d virtual seconds on %s\n", tr.Len(), metrics.Seconds, prog.Name)
@@ -312,27 +371,27 @@ func cmdBacktest(name, file, traceFile string) {
 	}))
 }
 
-// cmdMonitor implements the §6 mitigation flow: build the expected profile,
+// runMonitor implements the §6 mitigation flow: build the expected profile,
 // replay a trace with block counters attached, and report anomaly alarms.
-func cmdMonitor(name, traceFile string, seed int64, workers int) {
-	m := mustProgram(name)
-	prog := m.Build()
-	if traceFile == "" {
-		fatal(fmt.Errorf("-trace required"))
-	}
-	var tr *trace.Trace
-	var err error
-	if strings.HasSuffix(traceFile, ".pcap") {
-		tr, err = trace.ReadPcapFile(traceFile)
-	} else {
-		tr, err = trace.ReadFile(traceFile)
-	}
-	if err != nil {
-		fatal(err)
-	}
+func runMonitor(args []string) {
+	fs := newFlagSet("monitor", "monitor -prog name -trace file [-seed n] [-workers n]")
+	progName := fs.String("prog", "", "program name from `p4wn list`")
+	traceFile := fs.String("trace", "", "trace file to replay")
+	seed := fs.Int64("seed", 1, "random seed")
+	workers := fs.Int("workers", 0, "profiler parallelism; 0 selects GOMAXPROCS")
+	parseFlags(fs, args)
 
-	oracle := p4wn.TraceOracle(p4wn.GenerateTraffic(m.Workload(seed)))
-	prof, err := p4wn.Profile(prog, oracle, p4wn.ProfileOptions{Seed: seed, Workers: workers})
+	m := mustProgram(*progName)
+	prog := m.Build()
+	if *traceFile == "" {
+		fmt.Fprintln(os.Stderr, "p4wn monitor: -trace required")
+		fs.Usage()
+		os.Exit(2)
+	}
+	tr := readTrace(*traceFile)
+
+	oracle := p4wn.TraceOracle(p4wn.GenerateTraffic(m.Workload(*seed)))
+	prof, err := p4wn.Profile(prog, oracle, p4wn.ProfileOptions{Seed: *seed, Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,118 @@
+// Command p4wnd is the P4wn profiling daemon: a long-running service that
+// accepts profiling and adversarial-generation jobs over a JSON HTTP API,
+// runs them through the shared engine with a bounded priority queue, and
+// serves results from a content-addressed store so identical submissions
+// never recompute.
+//
+//	p4wnd -addr :8471 -store results/store
+//
+// API (see `p4wn submit|status|result|cancel` for the client side):
+//
+//	POST   /v1/jobs             submit a job spec (429 + Retry-After on a
+//	                            full queue; 200 when served from the store)
+//	GET    /v1/jobs             list known jobs
+//	GET    /v1/jobs/{id}        job status
+//	GET    /v1/jobs/{id}/result stored result JSON (202 while running)
+//	GET    /v1/jobs/{id}/events live progress stream (Server-Sent Events)
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/healthz          serving | draining
+//	GET    /metrics             registry snapshot (+ expvar, pprof)
+//
+// SIGTERM/SIGINT drains gracefully: intake stops (submissions get 503),
+// in-flight and queued jobs finish and persist their results, then the
+// process exits 0. A second signal — or -drain-timeout expiring — cancels
+// the remaining jobs and exits nonzero.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("p4wnd: ")
+
+	fs := flag.NewFlagSet("p4wnd", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: p4wnd [-addr host:port] [-store dir] [-queue n] [-jobs n] [-workers n] [-job-timeout d] [-max-job-timeout d] [-drain-timeout d] [-store-cap n] [-max-paths n]")
+	}
+	addr := fs.String("addr", "127.0.0.1:8471", "listen address")
+	storeDir := fs.String("store", "results/store", "content-addressed result store directory")
+	storeCap := fs.Int("store-cap", 256, "in-memory result cache entries")
+	queueDepth := fs.Int("queue", 64, "queued-job bound (past it submissions get 429)")
+	jobWorkers := fs.Int("jobs", 2, "jobs run concurrently")
+	profWorkers := fs.Int("workers", 0, "per-job profiler parallelism (0 = GOMAXPROCS)")
+	jobTimeout := fs.Duration("job-timeout", 5*time.Minute, "default per-job wall-clock bound")
+	maxJobTimeout := fs.Duration("max-job-timeout", 30*time.Minute, "clamp on requested job timeouts")
+	drainTimeout := fs.Duration("drain-timeout", 2*time.Minute, "graceful-drain bound on shutdown")
+	maxPaths := fs.Int("max-paths", 1<<20, "per-job MaxPaths quota (<0 disables)")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		os.Exit(2)
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "p4wnd: unexpected argument %q\n", fs.Arg(0))
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	srv, err := serve.New(serve.Config{
+		StoreDir:          *storeDir,
+		StoreCap:          *storeCap,
+		QueueDepth:        *queueDepth,
+		JobWorkers:        *jobWorkers,
+		ProfWorkers:       *profWorkers,
+		DefaultJobTimeout: *jobTimeout,
+		MaxJobTimeout:     *maxJobTimeout,
+		MaxPathsQuota:     *maxPaths,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+	log.Printf("serving on http://%s (store %s, queue %d, %d job workers)",
+		ln.Addr(), srv.Store().Dir(), *queueDepth, *jobWorkers)
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	<-sigCtx.Done()
+	stop() // a second signal kills the process the default way
+	log.Printf("draining (bound %s): no new jobs; finishing in-flight work", *drainTimeout)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(drainCtx)
+	// Shut the listener down after the drain so status polls keep working
+	// while jobs finish.
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	httpSrv.Shutdown(httpCtx)
+	if drainErr != nil {
+		log.Printf("drain incomplete: %v", drainErr)
+		os.Exit(1)
+	}
+	log.Printf("drained cleanly")
+}

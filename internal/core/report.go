@@ -40,25 +40,3 @@ func NewReport(pf *Profile, opt Options) *obs.Report {
 	}
 	return r
 }
-
-// optionsMap records the effective (defaulted) options so a report is
-// reproducible without the invoking command line.
-func optionsMap(optIn Options) map[string]any {
-	opt := optIn.withDefaults()
-	return map[string]any{
-		"alpha":             opt.Alpha,
-		"epsilon":           opt.Epsilon,
-		"gamma":             opt.Gamma,
-		"delta":             opt.Delta,
-		"max_iters":         opt.MaxIters,
-		"timeout_sec":       opt.Timeout.Seconds(),
-		"sample_budget":     opt.SampleBudget,
-		"max_paths":         opt.MaxPaths,
-		"disable_telescope": opt.DisableTelescope,
-		"disable_merge":     opt.DisableMerge,
-		"disable_sampling":  opt.DisableSampling,
-		"disable_prune":     opt.DisablePrune,
-		"locality":          opt.Locality,
-		"seed":              opt.Seed,
-	}
-}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// WireOptions must survive the round trip to profiler options and back for
+// every knob it carries, and normalization must be idempotent.
+func TestWireOptionsRoundTrip(t *testing.T) {
+	o := Options{
+		Alpha:            0.02,
+		Epsilon:          0.001,
+		Gamma:            7,
+		Delta:            3,
+		MaxIters:         42,
+		Timeout:          90 * time.Second,
+		SampleBudget:     123456,
+		MaxPaths:         9999,
+		DisableTelescope: true,
+		DisableSampling:  true,
+		Locality:         0.5,
+		Seed:             17,
+	}
+	got := WireFromOptions(o).Options()
+	if got != o {
+		t.Fatalf("round trip changed options:\n got %+v\nwant %+v", got, o)
+	}
+
+	// Runtime plumbing must not reach the wire: Workers differ, wire forms
+	// do not.
+	a, b := o, o
+	a.Workers = 1
+	b.Workers = 16
+	if WireFromOptions(a) != WireFromOptions(b) {
+		t.Fatal("Workers leaked into the wire form")
+	}
+
+	w := WireFromOptions(o).Normalized()
+	if w != w.Normalized() {
+		t.Fatal("Normalized is not idempotent")
+	}
+	// An all-zero wire form normalizes to the documented defaults.
+	def := (WireOptions{}).Normalized()
+	want := WireFromOptions(Options{}.withDefaults())
+	if def != want {
+		t.Fatalf("zero normalization:\n got %+v\nwant %+v", def, want)
+	}
+}
+
+// The report's options block is derived from the wire form; the two may
+// never drift. Every wire JSON key must appear in the report options map
+// and vice versa.
+func TestOptionsMapMatchesWireSchema(t *testing.T) {
+	m := optionsMap(Options{})
+	data, err := json.Marshal(WireOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wire map[string]any
+	if err := json.Unmarshal(data, &wire); err != nil {
+		t.Fatal(err)
+	}
+	for k := range wire {
+		if _, ok := m[k]; !ok {
+			t.Errorf("wire key %q missing from report options", k)
+		}
+	}
+	for k := range m {
+		if _, ok := wire[k]; !ok {
+			t.Errorf("report options key %q missing from wire schema", k)
+		}
+	}
+	// Integral knobs stay integers in the report.
+	if _, ok := m["max_iters"].(int); !ok {
+		t.Fatalf("max_iters is %T, want int", m["max_iters"])
+	}
+}

@@ -92,6 +92,24 @@ func Full() Config {
 	return c
 }
 
+// Preset maps a scale name to its Config — the seam the serve subsystem
+// uses to let wire submissions pick an experiment scale by name.
+func Preset(name string) (Config, bool) {
+	switch name {
+	case "quick":
+		return Quick(), true
+	case "default", "":
+		return DefaultConfig(), true
+	case "full":
+		return Full(), true
+	}
+	return Config{}, false
+}
+
+// ProfileOptions builds the standard P4wn profiling options for this
+// config — the exported form wire submissions are normalized through.
+func (c Config) ProfileOptions() core.Options { return c.profileOptions() }
+
 // profileOptions builds the standard P4wn profiling options.
 func (c Config) profileOptions() core.Options {
 	return core.Options{

@@ -12,18 +12,16 @@ import (
 	"time"
 )
 
-// ServeMetrics starts the observability HTTP endpoint on addr, exposing
+// Mount registers the observability handlers on an existing mux:
 //
 //	/metrics       the registry snapshot as sorted "name value" lines
 //	/debug/vars    expvar (including the registry via PublishExpvar)
 //	/debug/pprof/  the standard pprof handlers
 //
-// It returns the bound address (useful with ":0") and a shutdown function.
-// The endpoint is meant for long `monitor`/`backtest`/bench runs; profiling
-// one-shot commands should prefer the -cpuprofile/-memprofile flags.
-func ServeMetrics(addr string, reg *Registry) (string, func() error, error) {
+// It is the shared wiring behind ServeMetrics and the p4wnd daemon, which
+// mounts these next to its job API on one listener.
+func Mount(mux *http.ServeMux, reg *Registry) {
 	reg.PublishExpvar()
-	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, reg.Render())
@@ -34,6 +32,16 @@ func ServeMetrics(addr string, reg *Registry) (string, func() error, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// ServeMetrics starts the observability HTTP endpoint on addr (see Mount
+// for the routes). It returns the bound address (useful with ":0") and a
+// shutdown function. The endpoint is meant for long `monitor`/`backtest`/
+// bench runs; profiling one-shot commands should prefer the
+// -cpuprofile/-memprofile flags.
+func ServeMetrics(addr string, reg *Registry) (string, func() error, error) {
+	mux := http.NewServeMux()
+	Mount(mux, reg)
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

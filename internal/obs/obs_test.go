@@ -186,13 +186,23 @@ func TestHistogramQuantiles(t *testing.T) {
 }
 
 // goldenReport is a fixed report exercising every schema field; the golden
-// file locks the v1 JSON shape (key names, nesting, clamping).
+// file locks the v2 JSON shape (key names, nesting, clamping, the job
+// metadata block).
 func goldenReport() *Report {
 	return &Report{
 		SchemaVersion: SchemaVersion,
 		Kind:          "profile",
 		Program:       "counter",
 		Options:       map[string]any{"max_iters": 8, "seed": 1},
+		Job: &JobMeta{
+			ID:          "9c2f4e8a1b3d5c7e9c2f4e8a1b3d5c7e9c2f4e8a1b3d5c7e9c2f4e8a1b3d5c7e",
+			Kind:        "profile",
+			Priority:    2,
+			SubmittedAt: "2026-01-02T03:04:05.000000006Z",
+			StartedAt:   "2026-01-02T03:04:05.250000006Z",
+			FinishedAt:  "2026-01-02T03:04:06.500000006Z",
+			WaitSec:     0.25,
+		},
 		WallSec:       1.25,
 		Stages:        map[string]float64{"sym": 0.75, "merge": 0.25, "sample": 0.2},
 		Iterations: []IterationRecord{
@@ -219,7 +229,7 @@ func TestReportGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	data = append(data, '\n')
-	golden := filepath.Join("testdata", "report_v1.json")
+	golden := filepath.Join("testdata", "report_v2.json")
 	if os.Getenv("UPDATE_GOLDEN") != "" {
 		if err := os.WriteFile(golden, data, 0o644); err != nil {
 			t.Fatal(err)
@@ -246,6 +256,19 @@ func TestReportGolden(t *testing.T) {
 	}
 	if len(back.Iterations) != 2 || back.Iterations[1].Stable != 1 {
 		t.Fatalf("iterations round-trip: %+v", back.Iterations)
+	}
+	if back.Job == nil || back.Job.ID != goldenReport().Job.ID || back.Job.WaitSec != 0.25 {
+		t.Fatalf("job metadata round-trip: %+v", back.Job)
+	}
+	// Offline reports must omit the job block entirely.
+	plain := goldenReport()
+	plain.Job = nil
+	data, err = json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte(`"job"`)) {
+		t.Fatalf("nil Job must not serialize: %s", data)
 	}
 }
 

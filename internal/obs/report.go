@@ -12,7 +12,9 @@ import (
 // SchemaVersion is the run-report schema version. Bump it on any breaking
 // change to the Report or BenchReport JSON shape; CI diffs reports across
 // revisions and needs to detect incompatibility.
-const SchemaVersion = 1
+//
+// v2 added the optional "job" block (service-layer job metadata) to Report.
+const SchemaVersion = 2
 
 // Report is the versioned machine-readable artifact of one profiling run:
 // what was profiled, with which options, how the estimate converged, where
@@ -26,6 +28,12 @@ type Report struct {
 
 	Options map[string]any `json:"options,omitempty"`
 
+	// Job carries service-layer metadata when the run was executed by the
+	// p4wnd daemon rather than a one-shot CLI invocation; nil otherwise, so
+	// offline and served reports differ only in this block (and the
+	// timestamps), never in the profile itself.
+	Job *JobMeta `json:"job,omitempty"`
+
 	WallSec float64            `json:"wall_sec"`
 	Stages  map[string]float64 `json:"stages_sec"` // per-stage wall seconds
 
@@ -36,6 +44,19 @@ type Report struct {
 	Nodes     []NodeReport `json:"nodes"`
 
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// JobMeta identifies one service-layer job: the content-addressed job ID
+// (fingerprint of program text + normalized options), its queue trajectory,
+// and how long it waited before a worker picked it up.
+type JobMeta struct {
+	ID          string  `json:"id"`
+	Kind        string  `json:"kind"` // "profile" | "adversarial"
+	Priority    int     `json:"priority,omitempty"`
+	SubmittedAt string  `json:"submitted_at,omitempty"` // RFC3339Nano
+	StartedAt   string  `json:"started_at,omitempty"`
+	FinishedAt  string  `json:"finished_at,omitempty"`
+	WaitSec     float64 `json:"wait_sec,omitempty"` // queue wait before execution
 }
 
 // NodeReport is one profiled code block, rarest first.
@@ -153,9 +174,16 @@ func WriteJSONAtomic(path string, v any) error {
 	if err != nil {
 		return err
 	}
-	data = append(data, '\n')
+	return WriteFileAtomic(path, append(data, '\n'))
+}
+
+// WriteFileAtomic writes data to path via a temp file + rename in the same
+// directory — the durability primitive behind WriteJSONAtomic and the serve
+// result store. Readers either see the previous complete file or the new
+// one, never a torn write.
+func WriteFileAtomic(path string, data []byte) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, ".report-*.json")
+	tmp, err := os.CreateTemp(dir, ".atomic-*")
 	if err != nil {
 		return err
 	}

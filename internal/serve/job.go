@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"time"
+)
+
+// Job is one unit of service work: a normalized spec plus its lifecycle
+// state. A job is created per unique fingerprint; concurrent identical
+// submissions share the one Job (single-flight).
+type Job struct {
+	ID   string
+	Spec JobSpec // normalized
+
+	seq uint64 // queue FIFO order within a priority
+
+	mu        sync.Mutex
+	state     JobState
+	err       string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	cancel    context.CancelFunc
+
+	// done closes on reaching a terminal state; SSE handlers select on it.
+	done chan struct{}
+	hub  *hub
+}
+
+func newJob(id string, spec JobSpec, now time.Time) *Job {
+	return &Job{
+		ID:        id,
+		Spec:      spec,
+		state:     StateQueued,
+		submitted: now,
+		done:      make(chan struct{}),
+		hub:       newHub(),
+	}
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// setRunning transitions queued → running, attaching the cancel function
+// for the job's context. It reports false when the job was canceled while
+// queued (the worker must skip it).
+func (j *Job) setRunning(cancel context.CancelFunc, now time.Time) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = now
+	j.cancel = cancel
+	return true
+}
+
+// finish moves the job to a terminal state exactly once.
+func (j *Job) finish(state JobState, errMsg string, now time.Time) {
+	j.mu.Lock()
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.err = errMsg
+	j.finished = now
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	j.hub.close()
+	close(j.done)
+}
+
+// Cancel requests cancellation: a queued job becomes canceled immediately
+// (workers discard it on pop); a running job has its context canceled and
+// reaches the canceled state when the engine unwinds.
+func (j *Job) Cancel() {
+	j.mu.Lock()
+	state := j.state
+	cancel := j.cancel
+	j.mu.Unlock()
+	switch state {
+	case StateQueued:
+		j.finish(StateCanceled, "canceled while queued", time.Now())
+	case StateRunning:
+		if cancel != nil {
+			cancel()
+		}
+	}
+}
+
+// Status snapshots the job for the wire.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:          j.ID,
+		Kind:        j.Spec.Kind,
+		State:       j.state,
+		Priority:    j.Spec.Priority,
+		Error:       j.err,
+		SubmittedAt: timeRFC(j.submitted),
+		StartedAt:   timeRFC(j.started),
+		FinishedAt:  timeRFC(j.finished),
+	}
+	if !j.started.IsZero() {
+		st.WaitSec = j.started.Sub(j.submitted).Seconds()
+	}
+	return st
+}
+
+// hub broadcasts a job's progress lines (the obs tracer output) to any
+// number of SSE subscribers, buffering history so late subscribers replay
+// the run from the start.
+type hub struct {
+	mu     sync.Mutex
+	lines  []string
+	subs   map[chan string]struct{}
+	closed bool
+
+	// dropped counts lines discarded for slow subscribers (bounded send).
+	dropped int64
+}
+
+// hubReplayCap bounds the per-job replay buffer; beyond it only live lines
+// reach subscribers. Profiler runs emit a handful of lines per iteration,
+// so the cap is generous.
+const hubReplayCap = 4096
+
+func newHub() *hub {
+	return &hub{subs: map[chan string]struct{}{}}
+}
+
+// Write ingests tracer output; each call carries one or more whole
+// newline-terminated lines (the tracer renders a full line per call).
+func (h *hub) Write(p []byte) (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return len(p), nil
+	}
+	for _, raw := range bytes.Split(bytes.TrimRight(p, "\n"), []byte("\n")) {
+		if len(raw) == 0 {
+			continue
+		}
+		line := string(raw)
+		if len(h.lines) < hubReplayCap {
+			h.lines = append(h.lines, line)
+		}
+		for ch := range h.subs {
+			select {
+			case ch <- line:
+			default:
+				h.dropped++
+			}
+		}
+	}
+	return len(p), nil
+}
+
+// subscribe returns a live channel plus the replay buffer accumulated so
+// far. The channel is closed when the hub closes (job reached a terminal
+// state).
+func (h *hub) subscribe() (ch chan string, replay []string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	replay = append([]string(nil), h.lines...)
+	ch = make(chan string, 256)
+	if h.closed {
+		close(ch)
+		return ch, replay
+	}
+	h.subs[ch] = struct{}{}
+	return ch, replay
+}
+
+func (h *hub) unsubscribe(ch chan string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.subs[ch]; ok {
+		delete(h.subs, ch)
+		close(ch)
+	}
+}
+
+// close ends the stream: subscribers' channels close after pending lines
+// drain.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for ch := range h.subs {
+		close(ch)
+	}
+	h.subs = map[chan string]struct{}{}
+}

@@ -1,0 +1,648 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/ir"
+	"repro/internal/obs"
+	"repro/internal/p4c"
+	"repro/internal/programs"
+	"repro/internal/testgen"
+	"repro/internal/trace"
+)
+
+// Config tunes the profiling service.
+type Config struct {
+	// StoreDir roots the content-addressed result store
+	// (default "results/store").
+	StoreDir string
+	// StoreCap bounds the store's in-memory LRU layer (default 256).
+	StoreCap int
+	// QueueDepth bounds queued jobs; past it submissions get 429 +
+	// Retry-After (default 64).
+	QueueDepth int
+	// JobWorkers is how many jobs run concurrently (default 2).
+	JobWorkers int
+	// ProfWorkers is each job's profiler parallelism (0 = GOMAXPROCS).
+	// Profiles are byte-identical for every value, so it is a throughput
+	// knob, never a correctness one.
+	ProfWorkers int
+	// DefaultJobTimeout bounds jobs that do not ask for a timeout
+	// (default 5m); MaxJobTimeout clamps jobs that do (default 30m).
+	DefaultJobTimeout time.Duration
+	MaxJobTimeout     time.Duration
+	// MaxPathsQuota caps the per-job MaxPaths option (default 1<<20;
+	// negative disables the cap). It only binds when a submission asks for
+	// more than the quota, so default-option jobs stay byte-identical to
+	// offline runs.
+	MaxPathsQuota int
+	// Registry receives the service counters and views; a fresh registry
+	// is created when nil.
+	Registry *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.StoreDir == "" {
+		c.StoreDir = "results/store"
+	}
+	if c.StoreCap == 0 {
+		c.StoreCap = 256
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.JobWorkers == 0 {
+		c.JobWorkers = 2
+	}
+	if c.DefaultJobTimeout == 0 {
+		c.DefaultJobTimeout = 5 * time.Minute
+	}
+	if c.MaxJobTimeout == 0 {
+		c.MaxJobTimeout = 30 * time.Minute
+	}
+	if c.MaxPathsQuota == 0 {
+		c.MaxPathsQuota = 1 << 20
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return c
+}
+
+// Server is the profiling service: it owns the queue, the store, and the
+// worker pool of job runners, and serves the JSON HTTP API.
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	store *Store
+	queue *queue
+
+	mu   sync.Mutex
+	jobs map[string]*Job
+
+	draining bool
+
+	baseCtx  context.Context
+	stopAll  context.CancelFunc
+	workerWG sync.WaitGroup
+
+	// testHold, when non-nil, gates job execution: each worker receives
+	// from it before running a job. Tests use it to pile up concurrent
+	// identical submissions behind one in-flight job.
+	testHold chan struct{}
+	// testFault, when non-nil, runs at the head of execute; tests use it to
+	// inject engine panics and verify per-job isolation.
+	testFault func(spec JobSpec)
+}
+
+// jobsCap bounds the in-memory job table; terminal jobs are discarded
+// oldest-first past it (their results live on in the store).
+const jobsCap = 1024
+
+// New builds a Server and starts its job workers.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	store, err := OpenStore(cfg.StoreDir, cfg.StoreCap)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		reg:     cfg.Registry,
+		store:   store,
+		queue:   newQueue(cfg.QueueDepth),
+		jobs:    map[string]*Job{},
+		baseCtx: ctx,
+		stopAll: cancel,
+	}
+	s.reg.RegisterView("store", store.Metrics)
+	s.reg.RegisterView("serve", s.viewMetrics)
+	for i := 0; i < cfg.JobWorkers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Store exposes the result store (the daemon logs its directory).
+func (s *Server) Store() *Store { return s.store }
+
+// Registry exposes the metrics registry backing /metrics.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// viewMetrics is the "serve." gauge view.
+func (s *Server) viewMetrics() map[string]float64 {
+	s.mu.Lock()
+	jobs := len(s.jobs)
+	running := 0
+	for _, j := range s.jobs {
+		if j.State() == StateRunning {
+			running++
+		}
+	}
+	draining := 0.0
+	if s.draining {
+		draining = 1
+	}
+	s.mu.Unlock()
+	return map[string]float64{
+		"queue_depth": float64(s.queue.depth()),
+		"jobs":        float64(jobs),
+		"running":     float64(running),
+		"draining":    draining,
+	}
+}
+
+// Submit runs the single-flight submission flow shared by the HTTP handler
+// and in-process tests. The returned code is the HTTP status the outcome
+// maps to: 200 (served from store or deduplicated onto an existing job),
+// 202 (newly enqueued), 400 (bad spec), 429 (queue full), 503 (draining).
+func (s *Server) Submit(spec JobSpec) (JobStatus, int, error) {
+	norm, err := spec.normalize()
+	if err != nil {
+		return JobStatus{}, http.StatusBadRequest, err
+	}
+	id := norm.id()
+	s.reg.Counter("serve.submitted").Inc()
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.reg.Counter("serve.rejected_draining").Inc()
+		return JobStatus{}, http.StatusServiceUnavailable, ErrDraining
+	}
+	if j, ok := s.jobs[id]; ok && j.State() != StateFailed && j.State() != StateCanceled {
+		// Single-flight: an identical job is queued, running, or done.
+		st := j.Status()
+		if st.State == StateDone {
+			st.Cached = true
+			s.reg.Counter("serve.store_hits").Inc()
+		} else {
+			s.reg.Counter("serve.dedup_inflight").Inc()
+		}
+		s.mu.Unlock()
+		return st, http.StatusOK, nil
+	}
+	s.mu.Unlock()
+
+	// Replay from the content-addressed store: identical work was finished
+	// in this or an earlier daemon life.
+	if _, ok := s.store.Get(id); ok {
+		s.reg.Counter("serve.store_hits").Inc()
+		return JobStatus{
+			ID: id, Kind: norm.Kind, State: StateDone, Cached: true,
+			Priority: norm.Priority,
+		}, http.StatusOK, nil
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.reg.Counter("serve.rejected_draining").Inc()
+		return JobStatus{}, http.StatusServiceUnavailable, ErrDraining
+	}
+	// Re-check under the lock: a racing identical submission may have won.
+	if j, ok := s.jobs[id]; ok && j.State() != StateFailed && j.State() != StateCanceled {
+		s.reg.Counter("serve.dedup_inflight").Inc()
+		return j.Status(), http.StatusOK, nil
+	}
+	j := newJob(id, norm, time.Now())
+	if err := s.queue.push(j); err != nil {
+		code := http.StatusServiceUnavailable
+		if err == ErrQueueFull {
+			code = http.StatusTooManyRequests
+			s.reg.Counter("serve.rejected_full").Inc()
+		}
+		return JobStatus{}, code, err
+	}
+	s.jobs[id] = j
+	s.trimJobsLocked()
+	s.reg.Counter("serve.enqueued").Inc()
+	return j.Status(), http.StatusAccepted, nil
+}
+
+// trimJobsLocked discards the oldest terminal jobs past jobsCap; callers
+// hold s.mu. Results remain addressable through the store.
+func (s *Server) trimJobsLocked() {
+	if len(s.jobs) <= jobsCap {
+		return
+	}
+	type aged struct {
+		id string
+		at time.Time
+	}
+	var terminal []aged
+	for id, j := range s.jobs {
+		j.mu.Lock()
+		if j.state.terminal() {
+			terminal = append(terminal, aged{id, j.finished})
+		}
+		j.mu.Unlock()
+	}
+	sort.Slice(terminal, func(i, k int) bool { return terminal[i].at.Before(terminal[k].at) })
+	for _, t := range terminal {
+		if len(s.jobs) <= jobsCap {
+			break
+		}
+		delete(s.jobs, t.id)
+	}
+}
+
+// Job returns the in-memory job record for an ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// worker pulls jobs off the queue until the queue closes and drains.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for {
+		j, ok := s.queue.pop()
+		if !ok {
+			return
+		}
+		if hold := s.testHold; hold != nil {
+			<-hold
+		}
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job under its deadline with panic isolation: a
+// panicking engine fails the job, never the daemon.
+func (s *Server) runJob(j *Job) {
+	timeout := s.cfg.DefaultJobTimeout
+	if j.Spec.TimeoutSec > 0 {
+		timeout = time.Duration(j.Spec.TimeoutSec * float64(time.Second))
+	}
+	if timeout > s.cfg.MaxJobTimeout {
+		timeout = s.cfg.MaxJobTimeout
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+	defer cancel()
+	if !j.setRunning(cancel, time.Now()) {
+		return // canceled while queued
+	}
+	s.reg.Counter("serve.jobs_run").Inc()
+
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.reg.Counter("serve.panics").Inc()
+			s.reg.Counter("serve.jobs_failed").Inc()
+			j.finish(StateFailed, fmt.Sprintf("panic: %v\n%s", rec, debug.Stack()), time.Now())
+		}
+	}()
+
+	data, err := s.execute(ctx, j)
+	switch {
+	case err == nil:
+		if perr := s.store.Put(j.ID, data); perr != nil {
+			s.reg.Counter("serve.jobs_failed").Inc()
+			j.finish(StateFailed, "persist result: "+perr.Error(), time.Now())
+			return
+		}
+		s.reg.Counter("serve.jobs_done").Inc()
+		j.finish(StateDone, "", time.Now())
+	case ctx.Err() == context.Canceled:
+		s.reg.Counter("serve.jobs_canceled").Inc()
+		j.finish(StateCanceled, "canceled", time.Now())
+	case ctx.Err() == context.DeadlineExceeded:
+		s.reg.Counter("serve.jobs_failed").Inc()
+		j.finish(StateFailed, fmt.Sprintf("job timeout (%s) exceeded", timeout), time.Now())
+	default:
+		s.reg.Counter("serve.jobs_failed").Inc()
+		j.finish(StateFailed, err.Error(), time.Now())
+	}
+}
+
+// execute runs the job's pipeline and returns the result JSON to store.
+func (s *Server) execute(ctx context.Context, j *Job) ([]byte, error) {
+	if s.testFault != nil {
+		s.testFault(j.Spec)
+	}
+	prog, meta, err := s.buildProgram(j.Spec)
+	if err != nil {
+		return nil, err
+	}
+	switch j.Spec.Kind {
+	case KindAdversarial:
+		return s.runAdversarial(ctx, j, prog)
+	default:
+		return s.runProfile(ctx, j, prog, meta)
+	}
+}
+
+// buildProgram resolves the spec's program or inline source. meta is nil
+// for inline sources.
+func (s *Server) buildProgram(spec JobSpec) (*ir.Program, *programs.Meta, error) {
+	if spec.Source != "" {
+		prog, err := p4c.Parse(spec.Source)
+		if err != nil {
+			return nil, nil, fmt.Errorf("compile source: %w", err)
+		}
+		return prog, nil, nil
+	}
+	m, ok := programs.ByName(spec.Program)
+	if !ok {
+		return nil, nil, fmt.Errorf("unknown program %q", spec.Program)
+	}
+	return m.Build(), &m, nil
+}
+
+// oracleFor mirrors the CLI's workload selection so served profiles are
+// byte-identical to `p4wn profile` for the same inputs: zoo programs use
+// their registered workload, inline sources the default synthetic trace,
+// and uniform submissions no oracle at all.
+func oracleFor(spec JobSpec, meta *programs.Meta) dist.Oracle {
+	if spec.Uniform {
+		return nil
+	}
+	gen := trace.GenOptions{Seed: spec.Options.Seed}
+	if meta != nil {
+		gen = meta.Workload(spec.Options.Seed)
+	}
+	return trace.NewQueryProcessor(trace.Generate(gen))
+}
+
+// runProfile executes a profile job and renders the v2 run report with job
+// metadata attached.
+func (s *Server) runProfile(ctx context.Context, j *Job, prog *ir.Program, meta *programs.Meta) ([]byte, error) {
+	opt := j.Spec.Options.Options()
+	opt.Context = ctx
+	opt.Workers = s.cfg.ProfWorkers
+	opt.Tracer = obs.NewTracer(j.hub)
+	if s.cfg.MaxPathsQuota > 0 && opt.MaxPaths > s.cfg.MaxPathsQuota {
+		opt.MaxPaths = s.cfg.MaxPathsQuota
+	}
+	prof, err := core.ProbProf(prog, oracleFor(j.Spec, meta), opt)
+	if err != nil {
+		return nil, err
+	}
+	rep := core.NewReport(prof, opt)
+	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	rep.Job = s.jobMeta(j)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// runAdversarial executes an adversarial-generation job; the job context
+// threads through directed symbex, the solver, and havocing, so Cancel
+// stops a solving job mid-search.
+func (s *Server) runAdversarial(ctx context.Context, j *Job, prog *ir.Program) ([]byte, error) {
+	node := prog.NodeByLabel(j.Spec.Target)
+	if node == nil {
+		return nil, fmt.Errorf("program %q has no block labeled %q", prog.Name, j.Spec.Target)
+	}
+	adv, err := testgen.Generate(prog, node.ID, testgen.Options{
+		Seed: j.Spec.Options.Seed,
+		Ctx:  ctx,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := advResultFrom(adv, obs.SchemaVersion)
+	res.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	res.Job = s.jobMeta(j)
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// jobMeta snapshots the job's queue trajectory for the stored result.
+func (s *Server) jobMeta(j *Job) *obs.JobMeta {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	m := &obs.JobMeta{
+		ID:          j.ID,
+		Kind:        j.Spec.Kind,
+		Priority:    j.Spec.Priority,
+		SubmittedAt: timeRFC(j.submitted),
+		StartedAt:   timeRFC(j.started),
+	}
+	if !j.started.IsZero() {
+		m.WaitSec = j.started.Sub(j.submitted).Seconds()
+	}
+	return m
+}
+
+// Draining reports whether the server has begun its graceful drain.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain performs the graceful shutdown: stop accepting submissions, let
+// workers finish everything queued and in flight (results are persisted as
+// usual), and return when the last worker parks. If ctx expires first, the
+// remaining jobs are hard-canceled and Drain returns ctx.Err().
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.queue.close()
+
+	done := make(chan struct{})
+	go func() {
+		s.workerWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.stopAll() // cancels every in-flight job context
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close hard-stops the server (tests): cancel everything and wait.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.queue.close()
+	s.stopAll()
+	s.workerWG.Wait()
+}
+
+// Handler returns the service mux: the job API plus the observability
+// endpoints (/metrics, expvar, pprof) on the same listener.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	obs.Mount(mux, s.reg)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	state := "serving"
+	if s.Draining() {
+		state = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"state": state})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{"decode job spec: " + err.Error()})
+		return
+	}
+	st, code, err := s.Submit(spec)
+	if err != nil {
+		if code == http.StatusTooManyRequests {
+			// Backpressure: tell clients when to come back.
+			w.Header().Set("Retry-After", "1")
+		}
+		writeJSON(w, code, errorBody{err.Error()})
+		return
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	statuses := make([]JobStatus, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		statuses = append(statuses, j.Status())
+	}
+	s.mu.Unlock()
+	sort.Slice(statuses, func(i, k int) bool {
+		if statuses[i].SubmittedAt != statuses[k].SubmittedAt {
+			return statuses[i].SubmittedAt < statuses[k].SubmittedAt
+		}
+		return statuses[i].ID < statuses[k].ID
+	})
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": statuses})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if j, ok := s.Job(id); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+		return
+	}
+	// Fall back to the store: a finished job from a previous daemon life.
+	if _, ok := s.store.Get(id); ok {
+		writeJSON(w, http.StatusOK, JobStatus{ID: id, State: StateDone, Cached: true})
+		return
+	}
+	writeJSON(w, http.StatusNotFound, errorBody{"unknown job " + id})
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.Job(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{"unknown job " + id})
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if data, ok := s.store.Get(id); ok {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+		w.Write(data)
+		return
+	}
+	j, ok := s.Job(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{"unknown job " + id})
+		return
+	}
+	switch st := j.Status(); st.State {
+	case StateQueued, StateRunning:
+		writeJSON(w, http.StatusAccepted, st) // not ready yet; poll again
+	case StateCanceled:
+		writeJSON(w, http.StatusGone, st)
+	case StateFailed:
+		writeJSON(w, http.StatusInternalServerError, st)
+	default:
+		// Done but missing from the store: the persist failed and the job
+		// should have been marked failed; surface it as such.
+		writeJSON(w, http.StatusInternalServerError, errorBody{"result missing for job " + id})
+	}
+}
+
+// handleEvents streams the job's progress lines as Server-Sent Events:
+// every tracer line is one "data:" event, and a final "done" event carries
+// the terminal state. Late subscribers replay the full history first.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.Job(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{"unknown job " + id})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorBody{"streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	ch, replay := j.hub.subscribe()
+	defer j.hub.unsubscribe(ch)
+	for _, line := range replay {
+		fmt.Fprintf(w, "data: %s\n\n", line)
+	}
+	flusher.Flush()
+
+	for {
+		select {
+		case line, open := <-ch:
+			if !open {
+				fmt.Fprintf(w, "event: done\ndata: %s\n\n", j.State())
+				flusher.Flush()
+				return
+			}
+			fmt.Fprintf(w, "data: %s\n\n", line)
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

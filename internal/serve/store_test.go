@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testID builds a distinct valid store ID (64 lowercase hex chars).
+func testID(n int) string {
+	return fmt.Sprintf("%064x", n)
+}
+
+func TestStoreRoundTripAndDiskReplay(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := testID(1)
+	want := []byte(`{"hello":"world"}`)
+	if _, ok := st.Get(id); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	if err := st.Put(id, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := st.Get(id)
+	if !ok || string(got) != string(want) {
+		t.Fatalf("get after put: ok=%v data=%q", ok, got)
+	}
+
+	// A second store over the same directory — a restarted daemon — must
+	// replay the result from disk.
+	st2, err := OpenStore(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok = st2.Get(id)
+	if !ok || string(got) != string(want) {
+		t.Fatalf("disk replay: ok=%v data=%q", ok, got)
+	}
+	if m := st2.Metrics(); m["hits_disk"] != 1 {
+		t.Fatalf("disk hit not counted: %v", m)
+	}
+}
+
+// A torn write — a partial file left by a crash that predates the
+// atomic-rename discipline, or manual tampering — must read as a miss, not
+// as a corrupt result.
+func TestStoreTornFileIgnored(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := testID(2)
+	torn := []byte(`{"schema_version": 2, "nodes": [{"label": "a", "p"`)
+	if err := os.WriteFile(filepath.Join(dir, id+".json"), torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(id); ok {
+		t.Fatal("torn file served as a result")
+	}
+	m := st.Metrics()
+	if m["bad_files"] != 1 || m["misses"] != 1 {
+		t.Fatalf("torn file not counted: %v", m)
+	}
+	// A subsequent Put must repair the entry.
+	if err := st.Put(id, []byte(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(id); !ok {
+		t.Fatal("put after torn file did not repair the entry")
+	}
+}
+
+// Put must never leave temp files behind, and a crash can only ever leave
+// the old or the new content — which the atomic rename guarantees as long
+// as the temp file lives in the same directory.
+func TestStorePutLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := st.Put(testID(100+i), []byte(`{}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".json") {
+			t.Fatalf("leftover non-result file %q", e.Name())
+		}
+	}
+	if len(entries) != 10 {
+		t.Fatalf("expected 10 result files, found %d", len(entries))
+	}
+}
+
+// The memory layer is bounded: past the cap the least-recently-used entry
+// is evicted, while every result stays reachable through disk.
+func TestStoreLRUEvictionBounds(t *testing.T) {
+	dir := t.TempDir()
+	const capEntries = 4
+	st, err := OpenStore(dir, capEntries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 12
+	for i := 0; i < n; i++ {
+		if err := st.Put(testID(i), []byte(fmt.Sprintf(`{"i":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+		if r := st.Resident(); r > capEntries {
+			t.Fatalf("resident %d exceeds cap %d", r, capEntries)
+		}
+	}
+	m := st.Metrics()
+	if m["resident"] != capEntries {
+		t.Fatalf("resident = %v, want %v", m["resident"], capEntries)
+	}
+	if m["evictions"] != n-capEntries {
+		t.Fatalf("evictions = %v, want %v", m["evictions"], n-capEntries)
+	}
+	// Evicted entries fall back to disk and get promoted back into memory.
+	if _, ok := st.Get(testID(0)); !ok {
+		t.Fatal("evicted entry lost from disk")
+	}
+	if st.Metrics()["hits_disk"] != 1 {
+		t.Fatal("disk fallback not counted")
+	}
+	if r := st.Resident(); r > capEntries {
+		t.Fatalf("promotion broke the cap: resident %d", r)
+	}
+}
+
+// Get touches refresh LRU order: the most recently read entry must survive
+// the next eviction.
+func TestStoreLRUOrder(t *testing.T) {
+	st, err := OpenStore(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Put(testID(1), []byte(`1`))
+	st.Put(testID(2), []byte(`2`))
+	st.Get(testID(1))              // 1 is now most recent
+	st.Put(testID(3), []byte(`3`)) // evicts 2
+	if m := st.Metrics(); m["evictions"] != 1 {
+		t.Fatalf("evictions = %v", m["evictions"])
+	}
+	st.Get(testID(1))
+	if m := st.Metrics(); m["hits_mem"] != 2 {
+		t.Fatalf("entry 1 was evicted despite being most recent: %v", m)
+	}
+}
+
+// IDs are validated before touching the filesystem; traversal attempts and
+// malformed hashes must never map to paths.
+func TestStoreRejectsInvalidIDs(t *testing.T) {
+	st, err := OpenStore(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []string{
+		"",
+		"abc",
+		"../../../../etc/passwd",
+		strings.Repeat("g", 64),                // not hex
+		strings.Repeat("A", 64),                // uppercase rejected
+		strings.Repeat("a", 63),                // short
+		strings.Repeat("a", 65),                // long
+		"..%2f" + strings.Repeat("a", 59),      // encoded traversal
+		strings.Repeat("a", 32) + "/.." + "aa", // embedded separator
+	}
+	for _, id := range bad {
+		if _, ok := st.Get(id); ok {
+			t.Fatalf("Get accepted invalid id %q", id)
+		}
+		if err := st.Put(id, []byte(`{}`)); err == nil {
+			t.Fatalf("Put accepted invalid id %q", id)
+		}
+	}
+}

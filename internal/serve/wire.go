@@ -1,0 +1,215 @@
+// Package serve wraps the P4wn profiler pipeline in a long-running
+// service: a bounded priority job queue with per-job deadlines and
+// cancellation, a content-addressed result store with single-flight
+// deduplication, and a JSON-over-HTTP API with per-job streaming progress.
+// cmd/p4wnd is the daemon front end; `p4wn submit|status|result|cancel`
+// are the matching client subcommands.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/obs"
+	"repro/internal/programs"
+	"repro/internal/testgen"
+	"repro/internal/trace"
+)
+
+// JobSpec is the wire form of one job submission.
+type JobSpec struct {
+	// Kind selects the pipeline: "profile" (default) computes the
+	// probabilistic profile; "adversarial" generates a concrete packet
+	// sequence exercising Target.
+	Kind string `json:"kind,omitempty"`
+	// Program names a zoo program; Source is inline mini-language text.
+	// Exactly one must be set.
+	Program string `json:"program,omitempty"`
+	Source  string `json:"source,omitempty"`
+	// Uniform profiles against the uniform header space instead of the
+	// program's synthetic workload trace (profile jobs).
+	Uniform bool `json:"uniform,omitempty"`
+	// Target is the code-block label for adversarial jobs.
+	Target string `json:"target,omitempty"`
+	// Scale seeds Options from an eval preset ("quick", "default", "full").
+	// It is mutually exclusive with a non-zero Options block, so a scaled
+	// submission and the equivalent spelled-out one content-address
+	// identically.
+	Scale string `json:"scale,omitempty"`
+	// Options are the profiler options; zero values select the documented
+	// defaults (see core.WireOptions).
+	Options core.WireOptions `json:"options"`
+	// Priority orders the queue: higher-priority jobs run first, FIFO
+	// within a priority.
+	Priority int `json:"priority,omitempty"`
+	// TimeoutSec bounds the whole job's wall clock (0 = server default;
+	// the server clamps it to its configured maximum). Unlike the profiler
+	// options, it does not contribute to the job's content address: it
+	// decides whether a result is produced, never what the result is.
+	TimeoutSec float64 `json:"job_timeout_sec,omitempty"`
+}
+
+// Job kinds.
+const (
+	KindProfile     = "profile"
+	KindAdversarial = "adversarial"
+)
+
+// normalize validates the spec and folds every defaulting rule in, so all
+// spellings of the same work share one canonical form.
+func (s JobSpec) normalize() (JobSpec, error) {
+	if s.Kind == "" {
+		s.Kind = KindProfile
+	}
+	if s.Kind != KindProfile && s.Kind != KindAdversarial {
+		return s, fmt.Errorf("unknown job kind %q", s.Kind)
+	}
+	if (s.Program == "") == (s.Source == "") {
+		return s, fmt.Errorf("exactly one of program, source required")
+	}
+	if s.Program != "" {
+		if _, ok := programs.ByName(s.Program); !ok {
+			return s, fmt.Errorf("unknown program %q", s.Program)
+		}
+	}
+	if s.Kind == KindAdversarial && s.Target == "" {
+		return s, fmt.Errorf("adversarial jobs require a target block label")
+	}
+	if s.Kind == KindProfile && s.Target != "" {
+		return s, fmt.Errorf("target is only meaningful for adversarial jobs")
+	}
+	if s.Scale != "" {
+		if s.Options != (core.WireOptions{}) {
+			return s, fmt.Errorf("scale and options are mutually exclusive")
+		}
+		cfg, ok := eval.Preset(s.Scale)
+		if !ok {
+			return s, fmt.Errorf("unknown scale %q (quick, default, full)", s.Scale)
+		}
+		s.Options = core.WireFromOptions(cfg.ProfileOptions())
+		s.Scale = ""
+	}
+	s.Options = s.Options.Normalized()
+	if s.TimeoutSec < 0 {
+		return s, fmt.Errorf("job_timeout_sec must be >= 0")
+	}
+	return s, nil
+}
+
+// fingerprint is the canonical identity of a job: exactly the inputs the
+// result bytes depend on. Priority and the job timeout are excluded — they
+// change scheduling, not the answer.
+type fingerprint struct {
+	Kind    string           `json:"kind"`
+	Program string           `json:"program,omitempty"`
+	Source  string           `json:"source,omitempty"`
+	Uniform bool             `json:"uniform,omitempty"`
+	Target  string           `json:"target,omitempty"`
+	Options core.WireOptions `json:"options"`
+}
+
+// id content-addresses a normalized spec: the hex SHA-256 of its canonical
+// JSON fingerprint. Identical submissions — however they were spelled —
+// share one ID, one queue slot, and one stored result.
+func (s JobSpec) id() string {
+	data, err := json.Marshal(fingerprint{
+		Kind:    s.Kind,
+		Program: s.Program,
+		Source:  s.Source,
+		Uniform: s.Uniform,
+		Target:  s.Target,
+		Options: s.Options,
+	})
+	if err != nil {
+		// fingerprint marshals plain structs; this cannot fail.
+		panic("serve: fingerprint marshal: " + err.Error())
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+// Job lifecycle states.
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+func (s JobState) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobStatus is the wire form of a job's current state.
+type JobStatus struct {
+	ID    string   `json:"id"`
+	Kind  string   `json:"kind"`
+	State JobState `json:"state"`
+	// Cached marks a submission answered straight from the result store,
+	// with no engine run.
+	Cached      bool    `json:"cached,omitempty"`
+	Priority    int     `json:"priority,omitempty"`
+	Error       string  `json:"error,omitempty"`
+	SubmittedAt string  `json:"submitted_at,omitempty"`
+	StartedAt   string  `json:"started_at,omitempty"`
+	FinishedAt  string  `json:"finished_at,omitempty"`
+	WaitSec     float64 `json:"wait_sec,omitempty"`
+}
+
+// errorBody is the JSON error envelope every non-2xx response carries.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// AdvResult is the stored result of an adversarial job (kind
+// "adversarial"): the generated packet sequence plus the Figure 9 phase
+// decomposition. Profile jobs store the obs.Report run report instead.
+type AdvResult struct {
+	SchemaVersion int    `json:"schema_version"`
+	Kind          string `json:"kind"` // "adversarial"
+	Program       string `json:"program"`
+	Target        string `json:"target"`
+	GeneratedAt   string `json:"generated_at,omitempty"`
+
+	Job *obs.JobMeta `json:"job,omitempty"`
+
+	Validated     bool           `json:"validated"`
+	HasCollisions bool           `json:"has_collisions,omitempty"`
+	Packets       []trace.Packet `json:"packets"`
+	SymbexSec     float64        `json:"symbex_sec"`
+	SolverSec     float64        `json:"solver_sec"`
+	HavocSec      float64        `json:"havoc_sec"`
+}
+
+// timeRFC renders a timestamp for the wire; zero times render empty.
+func timeRFC(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}
+
+// advResultFrom converts a generated trace into its stored form.
+func advResultFrom(adv *testgen.AdvTrace, schemaVersion int) *AdvResult {
+	return &AdvResult{
+		SchemaVersion: schemaVersion,
+		Kind:          KindAdversarial,
+		Program:       adv.Program,
+		Target:        adv.Label,
+		Validated:     adv.Validated,
+		HasCollisions: adv.HasCollisions,
+		Packets:       adv.Packets,
+		SymbexSec:     adv.Decomp.Symbex.Seconds(),
+		SolverSec:     adv.Decomp.Solver.Seconds(),
+		HavocSec:      adv.Decomp.Havoc.Seconds(),
+	}
+}

@@ -1,0 +1,38 @@
+package solver
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// A canceled context must stop the search before it reports a witness,
+// even for a trivially satisfiable system.
+func TestSolveCanceledContext(t *testing.T) {
+	sp := space16()
+	cs := []Constraint{
+		cmp(ir.CmpGe, VarExpr(v(0, "a")), ConstExpr(10)),
+		cmp(ir.CmpLe, VarExpr(v(0, "a")), ConstExpr(20)),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, ok := Solve(cs, sp, SolveOptions{Ctx: ctx}); ok {
+		t.Fatal("canceled solve reported a witness")
+	}
+	// Sanity: the same system solves when the context is live.
+	if _, ok := Solve(cs, sp, SolveOptions{Ctx: context.Background()}); !ok {
+		t.Fatal("live-context solve failed on a satisfiable system")
+	}
+}
+
+// A nil context means "no cancellation" and must behave like before the
+// knob existed.
+func TestSolveNilContext(t *testing.T) {
+	sp := space16()
+	cs := []Constraint{cmp(ir.CmpEq, VarExpr(v(0, "a")), ConstExpr(7))}
+	asn, ok := Solve(cs, sp, SolveOptions{})
+	if !ok || asn[v(0, "a")] != 7 {
+		t.Fatalf("nil-ctx solve: ok=%v asn=%v", ok, asn)
+	}
+}

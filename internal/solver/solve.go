@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
@@ -14,6 +15,25 @@ type SolveOptions struct {
 	Seed int64
 	// Restarts bounds the number of randomized restarts (default 64).
 	Restarts int
+	// Ctx cancels the search: it is checked once per restart attempt and
+	// stride-checked inside the generic-repair loop, so a canceled job
+	// stops solving promptly. A canceled search reports no witness; the
+	// caller distinguishes cancellation from unsatisfiability by
+	// inspecting the context. Nil means no cancellation.
+	Ctx context.Context
+}
+
+// ctxCanceled is the nil-safe cancellation probe the search loops use.
+func (o SolveOptions) ctxCanceled() bool {
+	if o.Ctx == nil {
+		return false
+	}
+	select {
+	case <-o.Ctx.Done():
+		return true
+	default:
+		return false
+	}
 }
 
 // Solve finds a concrete satisfying assignment for the conjunction, or
@@ -55,6 +75,9 @@ func (s *System) solve(opt SolveOptions) (map[Var]uint64, bool) {
 	rng := rand.New(rand.NewSource(opt.Seed))
 
 	for attempt := 0; attempt <= opt.Restarts; attempt++ {
+		if opt.ctxCanceled() {
+			return nil, false
+		}
 		rootVal, ok := s.assignRoots(rng, attempt > 0)
 		if !ok {
 			continue
@@ -64,7 +87,7 @@ func (s *System) solve(opt SolveOptions) (map[Var]uint64, bool) {
 			return asn, true
 		}
 		// Generic residue failed: try perturbing the variables involved.
-		if asn2, ok := s.repairGeneric(rng, rootVal); ok {
+		if asn2, ok := s.repairGeneric(rng, rootVal, opt); ok {
 			return asn2, true
 		}
 	}
@@ -207,8 +230,10 @@ func (s *System) checkGeneric(asn map[Var]uint64) bool {
 }
 
 // repairGeneric retries random values for the roots involved in failing
-// generic constraints.
-func (s *System) repairGeneric(rng *rand.Rand, rootVal map[Var]uint64) (map[Var]uint64, bool) {
+// generic constraints. The 512-try loop is stride-checked against the
+// caller's context (every 64 tries, matching the engine's tickBudget
+// stride) so a canceled job never rides out the full repair budget.
+func (s *System) repairGeneric(rng *rand.Rand, rootVal map[Var]uint64, opt SolveOptions) (map[Var]uint64, bool) {
 	involved := map[Var]bool{}
 	for _, c := range s.Generic {
 		for _, v := range c.E.Vars() {
@@ -225,6 +250,9 @@ func (s *System) repairGeneric(rng *rand.Rand, rootVal map[Var]uint64) (map[Var]
 	sort.Slice(roots, func(i, j int) bool { return roots[i].Less(roots[j]) })
 
 	for try := 0; try < 512; try++ {
+		if try%64 == 63 && opt.ctxCanceled() {
+			return nil, false
+		}
 		trial := make(map[Var]uint64, len(rootVal))
 		for k, v := range rootVal {
 			trial[k] = v

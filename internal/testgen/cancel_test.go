@@ -1,0 +1,62 @@
+package testgen
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/programs"
+)
+
+// A pre-canceled context must surface as the context's error, not as
+// "no feasible path": callers (the serving layer) distinguish canceled
+// jobs from genuinely unreachable targets.
+func TestGenerateCanceledContext(t *testing.T) {
+	p := programs.Blink()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Generate(p, mustNode(t, p, "reroute"), Options{Seed: 1, Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// An already-expired deadline behaves the same way, reporting
+// DeadlineExceeded instead of ErrNotFound.
+func TestGenerateExpiredDeadline(t *testing.T) {
+	p := programs.CopyToCPU()
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := Generate(p, mustNode(t, p, "to_cpu"), Options{Seed: 1, Ctx: ctx})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// Cancellation mid-generation stops the run promptly: cancel from another
+// goroutine shortly after starting a deep-target generation and require
+// Generate to return well before its uncancelled runtime.
+func TestGenerateCancelStopsPromptly(t *testing.T) {
+	p := programs.Blink()
+	target := mustNode(t, p, "reroute")
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	adv, err := Generate(p, target, Options{Seed: 1, Ctx: ctx})
+	elapsed := time.Since(start)
+	// Either the run finished validly before the cancel landed, or it was
+	// canceled — but it must not grind on for seconds afterwards.
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want nil or context.Canceled", err)
+	}
+	if err == nil && !adv.Validated {
+		t.Fatalf("uncanceled generate did not validate")
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("generate ignored cancellation for %v", elapsed)
+	}
+}

@@ -1,6 +1,7 @@
 package testgen
 
 import (
+	"context"
 	"strconv"
 	"strings"
 
@@ -13,8 +14,8 @@ import (
 
 // solvePhase invokes the solver on the plan's path condition and lays the
 // witness into packet headers (the paper's final SAT/SMT invocation).
-func solvePhase(prog *ir.Program, plan *pathPlan, seed int64) ([]trace.Packet, bool) {
-	asn, ok := solver.Solve(plan.Path.PC, plan.Engine.Space, solver.SolveOptions{Seed: seed})
+func solvePhase(ctx context.Context, prog *ir.Program, plan *pathPlan, seed int64) ([]trace.Packet, bool) {
+	asn, ok := solver.Solve(plan.Path.PC, plan.Engine.Space, solver.SolveOptions{Seed: seed, Ctx: ctx})
 	if !ok {
 		return nil, false
 	}
@@ -77,8 +78,11 @@ type occupant struct {
 // havocPhase reconciles greybox arm decisions with concrete key material:
 // hits reuse a previously inserted key, empties take fresh keys landing on
 // free slots, and collisions are found by brute-force CRC search — the
-// role the rainbow table plays for KLEE-style havocing.
-func havocPhase(prog *ir.Program, plan *pathPlan, pkts []trace.Packet, seed int64) (freshFields []FreshField, hasCollisions bool) {
+// role the rainbow table plays for KLEE-style havocing. The collision
+// search is the one unbounded-feeling loop here (store size × 64 probes),
+// so it stride-checks ctx; a canceled havoc returns what it has and lets
+// the caller's validation fail the sequence.
+func havocPhase(ctx context.Context, prog *ir.Program, plan *pathPlan, pkts []trace.Packet, seed int64) (freshFields []FreshField, hasCollisions bool) {
 	inserted := map[string][]occupant{} // store -> insertion history
 	fresh := uint64(seed&0xffff) + 1
 
@@ -153,6 +157,9 @@ func havocPhase(prog *ir.Program, plan *pathPlan, pkts []trace.Packet, seed int6
 			victim := hist[len(hist)-1]
 			limit := decl.Size * 64
 			for attempt := 0; attempt < limit; attempt++ {
+				if attempt%64 == 63 && ctx.Err() != nil {
+					return freshFields, hasCollisions
+				}
 				pkt.SetField(free[0], fresh)
 				fresh++
 				key := keyValues(pkt, fields)

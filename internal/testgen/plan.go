@@ -15,6 +15,7 @@ func directedPlan(prog *ir.Program, target int, opt Options) (*pathPlan, error) 
 	engine := sym.NewEngine(prog, sym.Options{
 		Greybox:  true,
 		MaxPaths: opt.Beam * 64,
+		Ctx:      opt.Ctx,
 	})
 	cfg := ir.BuildCFG(prog)
 	distTo := cfg.DistanceTo(target)
@@ -23,6 +24,11 @@ func directedPlan(prog *ir.Program, target int, opt Options) (*pathPlan, error) 
 	for step := 0; step < opt.MaxSeqLen; step++ {
 		nps, err := engine.Step(paths, step)
 		if err != nil {
+			// The engine folds cancellation into its budget error; report
+			// the caller's cancellation as such, not as "no path found".
+			if cerr := opt.ctx().Err(); cerr != nil {
+				return nil, cerr
+			}
 			return nil, ErrNotFound
 		}
 		for _, p := range nps {
@@ -75,12 +81,16 @@ func stretchPlan(prog *ir.Program, g core.Guard, target int, opt Options) (*path
 	engine := sym.NewEngine(prog, sym.Options{
 		Greybox:  true,
 		MaxPaths: 1 << 16,
+		Ctx:      opt.Ctx,
 	})
 	maxSteps := int(rept)*2 + opt.Slack + 8
 	paths := engine.Initial()
 	for step := 0; step < maxSteps; step++ {
 		nps, err := engine.Step(paths, step)
 		if err != nil {
+			if cerr := opt.ctx().Err(); cerr != nil {
+				return nil, cerr
+			}
 			return nil, ErrNotFound
 		}
 		for _, p := range nps {

@@ -16,6 +16,7 @@
 package testgen
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -38,6 +39,20 @@ type Options struct {
 	Retries int
 	// Slack extends stretched guard plans beyond the threshold (default 4).
 	Slack int
+	// Ctx cancels generation end to end: directed/stretched symbolic
+	// exploration checks it at every fork point, the solver once per
+	// restart (and stride-checked inside its repair loop), and the havoc
+	// phase's CRC collision search every 64 probes. A canceled Generate
+	// returns the context's error. Nil means no cancellation.
+	Ctx context.Context
+}
+
+// ctx returns the options context, never nil.
+func (o Options) ctx() context.Context {
+	if o.Ctx == nil {
+		return context.Background()
+	}
+	return o.Ctx
 }
 
 func (o Options) withDefaults() Options {
@@ -118,17 +133,22 @@ func Generate(prog *ir.Program, target int, opt Options) (*AdvTrace, error) {
 		return out, err
 	}
 
-	// Solve + havoc with validation retries.
+	// Solve + havoc with validation retries. The per-phase context checks
+	// make the retry loop stop at the first canceled phase instead of
+	// burning the remaining retries on doomed solves.
 	for try := 0; try < opt.Retries; try++ {
+		if err := opt.ctx().Err(); err != nil {
+			return out, err
+		}
 		trySeed := opt.Seed + int64(try*7919)
 		solveStart := time.Now()
-		pkts, ok := solvePhase(prog, plan, trySeed)
+		pkts, ok := solvePhase(opt.ctx(), prog, plan, trySeed)
 		out.Decomp.Solver += time.Since(solveStart)
 		if !ok {
 			continue
 		}
 		havocStart := time.Now()
-		freshFields, hasCollisions := havocPhase(prog, plan, pkts, trySeed)
+		freshFields, hasCollisions := havocPhase(opt.ctx(), prog, plan, pkts, trySeed)
 		valid := validate(prog, pkts, target)
 		out.Decomp.Havoc += time.Since(havocStart)
 		if valid {
@@ -142,6 +162,9 @@ func Generate(prog *ir.Program, target int, opt Options) (*AdvTrace, error) {
 		if out.Packets == nil {
 			out.Packets = pkts
 		}
+	}
+	if err := opt.ctx().Err(); err != nil {
+		return out, err
 	}
 	if out.Packets == nil {
 		return out, ErrNotFound

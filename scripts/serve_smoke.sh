@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the serving layer: build p4wnd + p4wn, start the
+# daemon, submit the quickstart program, poll to completion, and assert
+#
+#   1. the served profile is identical to the offline `p4wn profile` output
+#      (everything except run-local timing/job metadata, compared via jq);
+#   2. resubmitting is answered from the content-addressed store without a
+#      second engine run (checked through /metrics counters);
+#   3. SIGTERM with a job in flight drains cleanly (exit 0) and persists
+#      the result.
+#
+# Requires: go, curl, jq. Run from anywhere; it cds to the repo root.
+set -euo pipefail
+
+cd "$(cd "$(dirname "$0")/.." && pwd)"
+
+PORT="${P4WND_SMOKE_PORT:-18471}"
+ADDR="127.0.0.1:${PORT}"
+BASE="http://${ADDR}"
+WORK="$(mktemp -d)"
+DAEMON_PID=""
+
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() { echo "serve_smoke: FAIL: $*" >&2; exit 1; }
+
+echo "== build"
+go build -o "$WORK/p4wn" ./cmd/p4wn
+go build -o "$WORK/p4wnd" ./cmd/p4wnd
+
+echo "== start daemon on $ADDR"
+"$WORK/p4wnd" -addr "$ADDR" -store "$WORK/store" &
+DAEMON_PID=$!
+for _ in $(seq 1 100); do
+  curl -fs "$BASE/v1/healthz" >/dev/null 2>&1 && break
+  kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died during startup"
+  sleep 0.1
+done
+curl -fs "$BASE/v1/healthz" | grep -q serving || fail "daemon not healthy"
+
+PROG=examples/programs/syn_guard.p4w
+
+echo "== offline profile"
+"$WORK/p4wn" profile -file "$PROG" -report "$WORK/offline.json" >/dev/null
+
+echo "== served profile (submit + follow)"
+"$WORK/p4wn" submit -addr "$BASE" -file "$PROG" -follow \
+  >"$WORK/served.json" 2>"$WORK/follow.log"
+grep -q "iter" "$WORK/follow.log" || fail "no progress lines streamed over SSE"
+
+# The profile itself must be identical; only the job block and the
+# run-local wall-clock numbers may differ between served and offline runs.
+PROFILE_VIEW='{schema_version, kind, program, options, converged, coverage, nodes}'
+jq -S "$PROFILE_VIEW" "$WORK/offline.json" > "$WORK/offline.profile"
+jq -S "$PROFILE_VIEW" "$WORK/served.json"  > "$WORK/served.profile"
+diff -u "$WORK/offline.profile" "$WORK/served.profile" \
+  || fail "served profile differs from offline profile"
+jq -e '.job.id and .job.kind == "profile"' "$WORK/served.json" >/dev/null \
+  || fail "served report has no job metadata block"
+echo "   served profile is identical to offline output"
+
+echo "== resubmission is served from the store"
+runs_before=$(curl -fs "$BASE/metrics" | awk '$1 == "serve.jobs_run" {print $2}')
+"$WORK/p4wn" submit -addr "$BASE" -file "$PROG" > "$WORK/resubmit.out"
+grep -q "(cached)" "$WORK/resubmit.out" || fail "resubmission was not served as cached"
+runs_after=$(curl -fs "$BASE/metrics" | awk '$1 == "serve.jobs_run" {print $2}')
+[ "$runs_before" = "$runs_after" ] || fail "resubmission re-ran the engine ($runs_before -> $runs_after)"
+hits=$(curl -fs "$BASE/metrics" | awk '$1 == "serve.store_hits" {print $2}')
+[ "${hits:-0}" -ge 1 ] || fail "store hit not counted (serve.store_hits=$hits)"
+echo "   cached answer, engine runs unchanged at $runs_after"
+
+echo "== client status/result/cancel surface"
+JOB_ID=$(jq -r '.job.id' "$WORK/served.json")
+"$WORK/p4wn" status -addr "$BASE" -id "$JOB_ID" | grep -q done || fail "status does not report done"
+"$WORK/p4wn" status -addr "$BASE" | grep -q "$JOB_ID" || fail "job list misses the job"
+"$WORK/p4wn" result -addr "$BASE" -id "$JOB_ID" -o "$WORK/fetched.json" 2>/dev/null
+cmp -s "$WORK/served.json" "$WORK/fetched.json" || fail "result fetch is not byte-identical to the stored result"
+"$WORK/p4wn" cancel -addr "$BASE" -id "$JOB_ID" >/dev/null || fail "cancel of a finished job errored"
+
+echo "== SIGTERM drain with a job in flight"
+# A fresh seed forces a real engine run; TERM lands while it executes.
+"$WORK/p4wn" submit -addr "$BASE" -file "$PROG" -seed 424242 > "$WORK/drain.out"
+DRAIN_ID=$(awk '{print $1}' "$WORK/drain.out")
+kill -TERM "$DAEMON_PID"
+if ! wait "$DAEMON_PID"; then fail "daemon exited nonzero on drain"; fi
+DAEMON_PID=""
+[ -s "$WORK/store/$DRAIN_ID.json" ] || fail "in-flight job's result not persisted through drain"
+jq -e . "$WORK/store/$DRAIN_ID.json" >/dev/null || fail "persisted result is not valid JSON"
+echo "   drained cleanly, in-flight result persisted"
+
+echo "serve_smoke: PASS"
