@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestMain lets the test binary impersonate the p4wn CLI: when re-exec'd
+// with P4WN_TEST_EXEC=1 it runs main() instead of the test suite, so the
+// exit-code contract can be asserted against the real os.Exit paths.
+func TestMain(m *testing.M) {
+	if os.Getenv("P4WN_TEST_EXEC") == "1" {
+		main()
+		return // main exits via runners; a clean fall-through is status 0
+	}
+	os.Exit(m.Run())
+}
+
+// p4wnCmd re-execs the test binary as the CLI with the given arguments.
+func p4wnCmd(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "P4WN_TEST_EXEC=1")
+	var out, errb strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	code = 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatal(err)
+	}
+	return out.String(), errb.String(), code
+}
+
+const (
+	leakyFile = "../../examples/programs/ifc_leaky.p4w"
+	cleanFile = "../../examples/programs/ifc_clean.p4w"
+)
+
+// Exit-code contract (documented in the package comment): lint exits 0
+// when the program is clean, 1 on error-severity findings or a tripped
+// -fail-on threshold, 2 on usage errors.
+
+func TestLintExitClean(t *testing.T) {
+	out, _, code := p4wnCmd(t, "lint", "-file", cleanFile, "-ifc")
+	if code != 0 {
+		t.Fatalf("clean lint exit = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "0 leak(s)") {
+		t.Errorf("clean program must report zero leaks:\n%s", out)
+	}
+}
+
+func TestLintExitLeakReported(t *testing.T) {
+	// Leaks alone are warnings: exit 0 without -fail-on.
+	out, _, code := p4wnCmd(t, "lint", "-file", leakyFile, "-ifc")
+	if code != 0 {
+		t.Fatalf("unthresholded leak lint exit = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "1 leak(s)") ||
+		!strings.Contains(out, "register:secret_key -> action:digest") {
+		t.Errorf("leak not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "key_probe") {
+		t.Errorf("witness chain missing:\n%s", out)
+	}
+}
+
+func TestLintExitFailOnTripped(t *testing.T) {
+	// The key_probe leak sits at 2^-16 ≈ 1.5e-5; a threshold below that
+	// must trip (exit 1), one above must pass (exit 0).
+	out, _, code := p4wnCmd(t, "lint", "-file", leakyFile, "-fail-on", "1e-6")
+	if code != 1 {
+		t.Fatalf("tripped -fail-on exit = %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "p 1.5") {
+		t.Errorf("weighted probability missing:\n%s", out)
+	}
+
+	out, _, code = p4wnCmd(t, "lint", "-file", leakyFile, "-fail-on", "1e-3")
+	if code != 0 {
+		t.Fatalf("sub-threshold -fail-on exit = %d, want 0\n%s", code, out)
+	}
+}
+
+func TestLintExitUsage(t *testing.T) {
+	_, stderr, code := p4wnCmd(t, "lint", "-no-such-flag")
+	if code != 2 {
+		t.Fatalf("flag error exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "usage:") {
+		t.Errorf("no usage line on stderr:\n%s", stderr)
+	}
+
+	_, _, code = p4wnCmd(t, "frobnicate")
+	if code != 2 {
+		t.Fatalf("unknown command exit = %d, want 2", code)
+	}
+}
+
+func TestLintExitBadPolicyFile(t *testing.T) {
+	_, stderr, code := p4wnCmd(t, "lint", "-file", cleanFile, "-policy", "/nonexistent.json")
+	if code != 1 {
+		t.Fatalf("unreadable policy exit = %d, want 1\n%s", code, stderr)
+	}
+}

@@ -6,6 +6,7 @@
 //	p4wn lint -prog "Blink (S5)" [-deps]
 //	p4wn lint -file my_program.p4w
 //	p4wn lint -all
+//	p4wn lint -prog "Counter (S1)" -ifc [-policy pol.json] [-weighted] [-fail-on 1e-3]
 //	p4wn profile -prog "Blink (S5)" [-uniform] [-seed 1] [-v] [-report out.json]
 //	p4wn profile -file my_program.p4w
 //
@@ -34,7 +35,9 @@
 // repository's binary trace format.
 //
 // Every subcommand exits 2 with a one-line usage message on bad flags or
-// stray arguments, 1 on runtime errors (3 for monitor anomalies).
+// stray arguments, 1 on runtime errors (3 for monitor anomalies). `lint`
+// exits 1 on error-severity findings, and with -fail-on also when any
+// information-flow leak's weighted probability reaches the threshold.
 package main
 
 import (
@@ -47,6 +50,7 @@ import (
 
 	p4wn "repro"
 	"repro/internal/dut"
+	"repro/internal/eval"
 	"repro/internal/mitigate"
 	"repro/internal/obs"
 	"repro/internal/p4c"
@@ -190,15 +194,39 @@ func runList(args []string) {
 }
 
 // runLint runs the static-analysis suite and prints every diagnostic with
-// its block label. The exit code is non-zero when any program has
-// error-severity findings (malformed IR).
+// its block label.
+//
+// Exit-code contract (mirrored by lint_test.go): exit 2 on usage errors,
+// exit 1 when any linted program has error-severity findings (malformed
+// IR) — and, with -ifc, when any leak's weighted path probability reaches
+// the -fail-on threshold. Leaks below the threshold (or with -fail-on
+// unset) are warnings and exit 0, matching the rest of the lint passes.
 func runLint(args []string) {
-	fs := newFlagSet("lint", "lint (-prog name | -file prog.p4w | -all) [-deps]")
+	fs := newFlagSet("lint", "lint (-prog name | -file prog.p4w | -all) [-deps] [-ifc] [-policy pol.json] [-weighted] [-fail-on p]")
 	progName := fs.String("prog", "", "program name from `p4wn list`")
 	progFile := fs.String("file", "", "mini-language source file (alternative to -prog)")
 	all := fs.Bool("all", false, "lint every zoo program")
 	deps := fs.Bool("deps", false, "print the state-dependency graph")
+	ifcOn := fs.Bool("ifc", false, "run the information-flow pass against the program's inline policy")
+	policyFile := fs.String("policy", "", "JSON information-flow policy merged over the inline one (implies -ifc)")
+	weighted := fs.Bool("weighted", false, "weight ifc leaks with a quick-scale profile (implies -ifc)")
+	failOn := fs.Float64("fail-on", 0, "exit non-zero when any leak probability reaches this threshold (implies -ifc -weighted)")
 	parseFlags(fs, args)
+	if *policyFile != "" || *weighted || *failOn > 0 {
+		*ifcOn = true
+	}
+	if *failOn > 0 {
+		*weighted = true
+	}
+
+	var extra *p4wn.SecPolicy
+	if *policyFile != "" {
+		pol, err := p4wn.LoadPolicy(*policyFile)
+		if err != nil {
+			fatal(err)
+		}
+		extra = pol
+	}
 
 	var progs []*p4wn.Program
 	switch {
@@ -213,17 +241,61 @@ func runLint(args []string) {
 		fs.Usage()
 		os.Exit(2)
 	}
-	errors := 0
+	errors, tripped := 0, false
 	for _, prog := range progs {
-		r := p4wn.Lint(prog)
+		var r *p4wn.LintReport
+		if *ifcOn {
+			r = p4wn.LintWithPolicy(prog, extra)
+		} else {
+			r = p4wn.Lint(prog)
+		}
+		if *weighted && r.IFC != nil && r.IFC.HasLeaks() && !r.HasErrors() {
+			// A quick-scale profile over the uniform header space weights
+			// each leak by its witness path's rarest block — deterministic
+			// and cheap enough for a lint gate.
+			opt := eval.Quick().ProfileOptions()
+			prof, err := p4wn.Profile(prog, nil, opt)
+			if err != nil {
+				fatal(err)
+			}
+			p4wn.WeightIFC(r.IFC, prof)
+		}
 		fmt.Print(r)
+		if r.IFC != nil {
+			printLeaks(prog, r.IFC)
+			if *failOn > 0 && r.IFC.MaxP().Float() >= *failOn {
+				tripped = true
+			}
+		}
 		errors += r.Errors()
 		if *deps && r.Deps != nil {
 			fmt.Print(r.Deps)
 		}
 	}
-	if errors > 0 {
+	if errors > 0 || tripped {
 		os.Exit(1)
+	}
+}
+
+// printLeaks renders the ifc result as a ranked table (probability column
+// only when a profile join happened).
+func printLeaks(prog *p4wn.Program, res *p4wn.IFCResult) {
+	fmt.Printf("ifc %s: %d leak(s)", prog.Name, len(res.Leaks))
+	if mp := res.MaxP(); !mp.IsZero() {
+		fmt.Printf(", max leak p %s", mp)
+	}
+	fmt.Println()
+	for _, l := range res.Leaks {
+		flow := "explicit"
+		if l.Implicit {
+			flow = "implicit"
+		}
+		p := "-"
+		if l.Weighted {
+			p = l.P.String()
+		}
+		fmt.Printf("  %-10s %s -> %s (%s) via %s\n",
+			p, l.Source, l.Sink, flow, res.WitnessString(prog, l))
 	}
 }
 
@@ -272,6 +344,7 @@ func runProfile(args []string) {
 	fmt.Print(prof)
 
 	rep := p4wn.Report(prof, opt)
+	p4wn.AttachIFC(rep, prog, prof)
 	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 	fmt.Print(rep.Summary())
 	if *reportPath != "" {

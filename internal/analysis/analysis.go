@@ -81,6 +81,9 @@ type Report struct {
 	// Deps is the state-dependency graph (which blocks read/write which
 	// register, array, hash table, Bloom filter, or sketch).
 	Deps *DepGraph
+	// IFC is the information-flow pass's structured result; nil when the
+	// program has no policy and no external one was supplied.
+	IFC *IFCResult
 }
 
 // PruneSet returns every node the profiler may skip: CFG-unreachable nodes
@@ -146,8 +149,16 @@ func (r *Report) String() string {
 }
 
 // Analyze runs every pass over a built program: the verifier, CFG
-// reachability, def-use linting, and interval-based dead-branch detection.
+// reachability, def-use linting, interval-based dead-branch detection, and
+// (when the program carries a policy) the information-flow pass.
 func Analyze(p *ir.Program) *Report {
+	return AnalyzeWithPolicy(p, nil)
+}
+
+// AnalyzeWithPolicy runs the full pass suite with an extra policy merged
+// over the program's inline one (either may be nil; the ifc pass runs when
+// the merge is non-empty).
+func AnalyzeWithPolicy(p *ir.Program, extra *ir.SecPolicy) *Report {
 	r := &Report{
 		Program:     p.Name,
 		Unreachable: map[int]bool{},
@@ -157,6 +168,16 @@ func Analyze(p *ir.Program) *Report {
 	reachability(p, r)
 	defUse(p, r)
 	intervals(p, r)
+	pol := p.Policy
+	if !extra.Empty() {
+		merged := &ir.SecPolicy{}
+		merged.Merge(pol)
+		merged.Merge(extra)
+		pol = merged
+	}
+	if !pol.Empty() {
+		r.IFC = ifc(p, pol, r)
+	}
 	return r
 }
 

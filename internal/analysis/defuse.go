@@ -28,19 +28,31 @@ type DepGraph struct {
 }
 
 // String renders the graph with block labels, one state object per line.
+// Output order is always (kind, name) with sorted node IDs, regardless of
+// how States was assembled — CI diffs and golden tests depend on the
+// rendering being deterministic even for hand-built graphs.
 func (g *DepGraph) String() string {
 	var b strings.Builder
 	labels := func(ids []int) string {
 		if len(ids) == 0 {
 			return "-"
 		}
+		ids = append([]int(nil), ids...)
+		sort.Ints(ids)
 		parts := make([]string, len(ids))
 		for i, id := range ids {
 			parts[i] = fmt.Sprintf("%s(#%d)", g.prog.Node(id).Label, id)
 		}
 		return strings.Join(parts, " ")
 	}
-	for _, s := range g.States {
+	states := append([]StateDep(nil), g.States...)
+	sort.Slice(states, func(i, j int) bool {
+		if states[i].Kind != states[j].Kind {
+			return states[i].Kind < states[j].Kind
+		}
+		return states[i].Name < states[j].Name
+	})
+	for _, s := range states {
 		fmt.Fprintf(&b, "%-8s %-16s readers: %s\n", s.Kind, s.Name, labels(s.Readers))
 		fmt.Fprintf(&b, "%-8s %-16s writers: %s\n", "", "", labels(s.Writers))
 	}

@@ -1,0 +1,78 @@
+package analysis
+
+import "testing"
+
+func TestSeverityString(t *testing.T) {
+	cases := []struct {
+		sev  Severity
+		want string
+	}{
+		{SevError, "error"},
+		{SevWarn, "warn"},
+		{SevInfo, "info"},
+		{Severity(99), "info"}, // out-of-range values degrade to info
+	}
+	for _, c := range cases {
+		if got := c.sev.String(); got != c.want {
+			t.Errorf("Severity(%d).String() = %q, want %q", c.sev, got, c.want)
+		}
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	cases := []struct {
+		name string
+		d    Diagnostic
+		want string
+	}{
+		{
+			name: "program-level",
+			d:    Diagnostic{Pass: "verify", Severity: SevError, Node: -1, Msg: "bad"},
+			want: "error verify   program: bad",
+		},
+		{
+			name: "node-level",
+			d:    Diagnostic{Pass: "reach", Severity: SevWarn, Node: 7, Block: "drop_it", Msg: "dead"},
+			want: "warn  reach    drop_it(#7): dead",
+		},
+		{
+			name: "info",
+			d:    Diagnostic{Pass: "defuse", Severity: SevInfo, Node: -1, Msg: "unused"},
+			want: "info  defuse   program: unused",
+		},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%s: String() = %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+func TestReportCounts(t *testing.T) {
+	cases := []struct {
+		name          string
+		sevs          []Severity
+		errors, warns int
+		hasErrors     bool
+	}{
+		{"empty", nil, 0, 0, false},
+		{"only info", []Severity{SevInfo, SevInfo}, 0, 0, false},
+		{"mixed", []Severity{SevError, SevWarn, SevWarn, SevInfo}, 1, 2, true},
+		{"all errors", []Severity{SevError, SevError}, 2, 0, true},
+	}
+	for _, c := range cases {
+		r := &Report{Program: c.name}
+		for _, s := range c.sevs {
+			r.add("test", s, -1, "", "x")
+		}
+		if got := r.Errors(); got != c.errors {
+			t.Errorf("%s: Errors() = %d, want %d", c.name, got, c.errors)
+		}
+		if got := r.Warnings(); got != c.warns {
+			t.Errorf("%s: Warnings() = %d, want %d", c.name, got, c.warns)
+		}
+		if got := r.HasErrors(); got != c.hasErrors {
+			t.Errorf("%s: HasErrors() = %v, want %v", c.name, got, c.hasErrors)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/ir"
+)
+
+// Policy loading and validation for the ifc pass. A policy arrives either
+// inline (ir.Program.Policy, set by the mini-language's `policy { ... }`
+// block or a zoo builder) or as a JSON file passed to `p4wn lint -policy`:
+//
+//	{
+//	  "secrets": [{"kind": "field", "name": "src_ip"},
+//	              {"kind": "register", "name": "syn_cnt"}],
+//	  "sinks":   [{"kind": "action", "name": "digest"},
+//	              {"kind": "sketch", "name": "flow_cnt"}]
+//	}
+
+// policyJSON is the on-disk policy shape.
+type policyJSON struct {
+	Secrets []refJSON `json:"secrets"`
+	Sinks   []refJSON `json:"sinks"`
+}
+
+type refJSON struct {
+	Kind string `json:"kind"`
+	Name string `json:"name"`
+}
+
+// ParsePolicyJSON decodes a JSON policy document, checking reference kinds
+// (name resolution against a concrete program happens in validatePolicy,
+// as ifc-pass diagnostics).
+func ParsePolicyJSON(data []byte) (*ir.SecPolicy, error) {
+	var pj policyJSON
+	if err := json.Unmarshal(data, &pj); err != nil {
+		return nil, fmt.Errorf("policy: %w", err)
+	}
+	pol := &ir.SecPolicy{}
+	for _, r := range pj.Secrets {
+		if !ir.ValidSecretKind(r.Kind) {
+			return nil, fmt.Errorf("policy: invalid secret kind %q (name %q)", r.Kind, r.Name)
+		}
+		pol.Secrets = append(pol.Secrets, ir.SecRef{Kind: r.Kind, Name: r.Name})
+	}
+	for _, r := range pj.Sinks {
+		if !ir.ValidSinkKind(r.Kind) {
+			return nil, fmt.Errorf("policy: invalid sink kind %q (name %q)", r.Kind, r.Name)
+		}
+		if r.Kind == ir.KindAction {
+			if _, ok := ir.ActionKindByName(r.Name); !ok {
+				return nil, fmt.Errorf("policy: unknown action %q", r.Name)
+			}
+		}
+		pol.Sinks = append(pol.Sinks, ir.SecRef{Kind: r.Kind, Name: r.Name})
+	}
+	if pol.Empty() {
+		return nil, fmt.Errorf("policy: declares neither secrets nor sinks")
+	}
+	return pol, nil
+}
+
+// LoadPolicy reads and decodes a JSON policy file.
+func LoadPolicy(path string) (*ir.SecPolicy, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := ParsePolicyJSON(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return pol, nil
+}
+
+// validatePolicy resolves every policy reference against the program,
+// reporting unresolved names as ifc-pass errors. It returns false when the
+// policy is unusable (any unresolved reference, or no secrets / no sinks —
+// a vacuous policy is almost certainly a typo in a CI gate).
+func validatePolicy(p *ir.Program, pol *ir.SecPolicy, r *Report) bool {
+	ok := true
+	if len(pol.Secrets) == 0 {
+		r.add("ifc", SevError, -1, "", "policy declares no secrets")
+		ok = false
+	}
+	if len(pol.Sinks) == 0 {
+		r.add("ifc", SevError, -1, "", "policy declares no sinks")
+		ok = false
+	}
+	check := func(ref ir.SecRef, secret bool) {
+		role := "sink"
+		if secret {
+			role = "secret"
+		}
+		var found bool
+		switch ref.Kind {
+		case ir.KindField:
+			_, found = p.Field(ref.Name)
+		case ir.KindRegister:
+			_, found = p.Reg(ref.Name)
+		case ir.KindArray:
+			_, found = p.RegArray(ref.Name)
+		case ir.KindHash:
+			_, found = p.HashTable(ref.Name)
+		case ir.KindBloom:
+			_, found = p.Bloom(ref.Name)
+		case ir.KindSketch:
+			_, found = p.Sketch(ref.Name)
+		case ir.KindMeta:
+			// Metadata is declared implicitly by first write; accept any
+			// name (an unwritten one simply never carries taint).
+			found = true
+		case ir.KindAction:
+			_, found = ir.ActionKindByName(ref.Name)
+		}
+		if !found {
+			r.add("ifc", SevError, -1, "",
+				"policy %s %s does not resolve: program has no %s %q",
+				role, ref, ref.Kind, ref.Name)
+			ok = false
+		}
+		if secret && !ir.ValidSecretKind(ref.Kind) {
+			r.add("ifc", SevError, -1, "", "policy secret %s has invalid kind", ref)
+			ok = false
+		}
+		if !secret && !ir.ValidSinkKind(ref.Kind) {
+			r.add("ifc", SevError, -1, "", "policy sink %s has invalid kind", ref)
+			ok = false
+		}
+	}
+	for _, ref := range pol.Secrets {
+		check(ref, true)
+	}
+	for _, ref := range pol.Sinks {
+		check(ref, false)
+	}
+	return ok
+}

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Taint lattice for the ifc pass. The lattice over one value cell is the
+// powerset of the policy's secret sources ordered by inclusion: bottom is
+// the empty set (public), and a cell's label only ever grows (no strong
+// updates — a register overwritten with a constant stays tainted, which is
+// conservative but sound for a lint). Alongside each source the label
+// carries one representative witness: the CFG node IDs the flow traversed,
+// source-first. On joins the first witness wins, which keeps output
+// deterministic because the interpreter walks the program in syntactic
+// order.
+
+// maxWitness bounds a witness chain; flows deeper than this keep their
+// prefix (the source end), which is what a human debugging the leak needs.
+const maxWitness = 64
+
+// label maps each secret source that may influence a value to its witness
+// chain. A nil label is the lattice bottom (untainted).
+type label map[ir.SecRef][]int
+
+// tainted reports whether the label carries any secret.
+func (l label) tainted() bool { return len(l) > 0 }
+
+// join merges src into l (copying witness slices, so labels never alias),
+// returning the possibly-reallocated map and whether any new source
+// appeared. Witnesses of already-present sources are kept.
+func (l label) join(src label) (label, bool) {
+	changed := false
+	for ref, wit := range src {
+		if _, ok := l[ref]; ok {
+			continue
+		}
+		if l == nil {
+			l = make(label, len(src))
+		}
+		l[ref] = append([]int(nil), wit...)
+		changed = true
+	}
+	return l, changed
+}
+
+// at returns a copy of the label with node appended to every witness chain
+// (skipping consecutive duplicates), marking where the flow passed.
+func (l label) at(node int) label {
+	if len(l) == 0 {
+		return nil
+	}
+	out := make(label, len(l))
+	for ref, wit := range l {
+		if n := len(wit); (n > 0 && wit[n-1] == node) || n >= maxWitness {
+			out[ref] = append([]int(nil), wit...)
+			continue
+		}
+		w := make([]int, 0, len(wit)+1)
+		w = append(w, wit...)
+		out[ref] = append(w, node)
+	}
+	return out
+}
+
+// sources returns the label's secret sources in deterministic order.
+func (l label) sources() []ir.SecRef {
+	out := make([]ir.SecRef, 0, len(l))
+	for ref := range l {
+		out = append(out, ref)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// stateKey identifies one persistent-state cell of the taint environment.
+type stateKey struct{ kind, name string }
+
+// taintEnv is the abstract state of the forward pass: persistent state
+// survives the per-packet loop (the cross-packet channel the paper's
+// state-dependency graph describes), metadata resets every packet, and the
+// pc stack tracks implicit flows — the labels of every branch condition
+// enclosing the current statement.
+type taintEnv struct {
+	// state holds persistent cells: registers, arrays, hash tables, Bloom
+	// filters, and sketches. Arrays and approximate structures are
+	// modelled as one cell each (index-insensitive, conservative).
+	state map[stateKey]label
+	// meta holds per-packet metadata labels.
+	meta map[string]label
+	// pc is the implicit-flow stack.
+	pc []label
+	// stateChanged records whether any persistent cell gained a source
+	// during the current packet walk; the cross-packet fixpoint loop runs
+	// until a whole walk leaves it false.
+	stateChanged bool
+}
+
+func newTaintEnv() *taintEnv {
+	return &taintEnv{state: map[stateKey]label{}, meta: map[string]label{}}
+}
+
+// pcLabel joins the whole implicit-flow stack into one label.
+func (env *taintEnv) pcLabel() label {
+	var out label
+	for _, l := range env.pc {
+		out, _ = out.join(l)
+	}
+	return out
+}
+
+// push/pop bracket the walk of statements guarded by a condition whose
+// label is l: everything inside observes the branch outcome.
+func (env *taintEnv) push(l label) { env.pc = append(env.pc, l) }
+func (env *taintEnv) pop()         { env.pc = env.pc[:len(env.pc)-1] }
+
+// taintState joins l into a persistent cell, tracking fixpoint progress.
+func (env *taintEnv) taintState(k stateKey, l label) {
+	merged, changed := env.state[k].join(l)
+	env.state[k] = merged
+	if changed {
+		env.stateChanged = true
+	}
+}
+
+// taintMeta joins l into a metadata cell.
+func (env *taintEnv) taintMeta(name string, l label) {
+	merged, _ := env.meta[name].join(l)
+	env.meta[name] = merged
+}

@@ -21,7 +21,10 @@ func TestZooLintClean(t *testing.T) {
 				t.Errorf("program %q has %d verifier error(s):\n%s", m.Name, r.Errors(), r)
 			}
 			for _, d := range r.Diags {
-				if d.Severity == analysis.SevWarn {
+				// Annotated zoo programs intentionally leak (their inline
+				// policies document real information flows); every other
+				// pass must stay warning-free.
+				if d.Severity == analysis.SevWarn && d.Pass != "ifc" {
 					t.Errorf("program %q: unexpected warning: %s", m.Name, d)
 				}
 			}

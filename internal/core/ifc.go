@@ -1,0 +1,81 @@
+package core
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/ir"
+	"repro/internal/obs"
+	"repro/internal/prob"
+)
+
+// Information-flow joins between the analysis package's ifc pass and the
+// profiler. The pass itself cannot import core (core imports analysis for
+// the pruning hook), so the probability join happens here: the profile
+// supplies per-block probabilities and each leak's witness chain is
+// weighted by its rarest block.
+
+// WeightIFC ranks an ifc result against a finished profile: each leak's P
+// becomes the minimum block probability along its witness chain, and leaks
+// re-sort most-probable first. A nil result or profile is a no-op.
+func WeightIFC(res *analysis.IFCResult, pf *Profile) {
+	if res == nil || pf == nil {
+		return
+	}
+	res.Weight(func(node int) (prob.P, bool) {
+		n, ok := pf.ByID(node)
+		if !ok {
+			return prob.Zero(), false
+		}
+		return n.P, true
+	})
+}
+
+// AttachIFC runs the information-flow pass over the profiled program,
+// weights it against the profile, and attaches the leak summary block to
+// the run report. Programs without an inline policy are left untouched, so
+// the report shape is unchanged for the rest of the zoo. Both the offline
+// CLI and the serve worker call this, keeping their reports byte-identical.
+func AttachIFC(rep *obs.Report, prog *ir.Program, pf *Profile) {
+	res := analysis.IFCOnly(prog)
+	if res == nil {
+		return
+	}
+	WeightIFC(res, pf)
+	rep.IFC = IFCSummaryOf(prog, res)
+}
+
+// IFCSummaryOf converts an ifc result into the report's summary block.
+func IFCSummaryOf(prog *ir.Program, res *analysis.IFCResult) *obs.IFCSummary {
+	if res == nil {
+		return nil
+	}
+	sum := &obs.IFCSummary{Secrets: []string{}, Sinks: []string{}, Leaks: []obs.LeakReport{}}
+	if res.Policy != nil {
+		for _, ref := range res.Policy.Secrets {
+			sum.Secrets = append(sum.Secrets, ref.String())
+		}
+		for _, ref := range res.Policy.Sinks {
+			sum.Sinks = append(sum.Sinks, ref.String())
+		}
+	}
+	for _, l := range res.Leaks {
+		flow := "explicit"
+		if l.Implicit {
+			flow = "implicit"
+		}
+		sum.Leaks = append(sum.Leaks, obs.LeakReport{
+			Source:   l.Source.String(),
+			Sink:     l.Sink.String(),
+			Node:     l.Node,
+			Block:    l.Block,
+			Flow:     flow,
+			Witness:  res.WitnessString(prog, l),
+			P:        l.P.Float(),
+			Log10P:   l.P.Log10(),
+			Weighted: l.Weighted,
+		})
+	}
+	max := res.MaxP()
+	sum.MaxP = max.Float()
+	sum.MaxLog10P = max.Log10()
+	return sum
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/ir"
+	"repro/internal/obs"
+)
+
+// ifcLeakyProg mirrors examples/programs/ifc_leaky.p4w: a 16-bit secret
+// register compared against dst_port, with matches digested.
+func ifcLeakyProg() *ir.Program {
+	p := &ir.Program{
+		Name: "ifc-leaky",
+		Regs: []ir.RegDecl{{Name: "secret_key", Bits: 16, Init: 1234}},
+		Policy: &ir.SecPolicy{
+			Secrets: []ir.SecRef{{Kind: ir.KindRegister, Name: "secret_key"}},
+			Sinks:   []ir.SecRef{{Kind: ir.KindAction, Name: "digest"}},
+		},
+		Root: ir.Body(
+			ir.If2(ir.Eq(ir.F("dst_port"), ir.R("secret_key")),
+				ir.Blk("key_probe", ir.Digest(), ir.Fwd(1)),
+				ir.Blk("normal", ir.Fwd(1))),
+		),
+	}
+	return p.MustBuild()
+}
+
+// TestWeightIFCMatchesProfiler is the acceptance check for the weighted
+// lint: the reported leak probability must equal the profiler's block
+// probability along the witness chain (its minimum — here, the key_probe
+// block at 2^-16 under a uniform header space).
+func TestWeightIFCMatchesProfiler(t *testing.T) {
+	prog := ifcLeakyProg()
+	prof, err := ProbProf(prog, nil, Options{Seed: 1, DisableSampling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := analysis.IFCOnly(prog)
+	if res == nil || len(res.Leaks) != 1 {
+		t.Fatalf("ifc result: %+v", res)
+	}
+	WeightIFC(res, prof)
+	l := res.Leaks[0]
+	if !l.Weighted {
+		t.Fatal("leak not weighted")
+	}
+	// The witness minimum must agree with the profile node-for-node.
+	min := math.Inf(1)
+	for _, id := range l.Witness {
+		n, ok := prof.ByID(id)
+		if !ok {
+			t.Fatalf("witness node #%d missing from profile", id)
+		}
+		if f := n.P.Float(); f < min {
+			min = f
+		}
+	}
+	if got := l.P.Float(); got != min {
+		t.Errorf("leak p = %g, want witness minimum %g", got, min)
+	}
+	// And under a uniform 16-bit dst_port the probe block is 2^-16 exactly.
+	want := 1.0 / 65536.0
+	if got := l.P.Float(); math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("leak p = %g, want %g (uniform 16-bit match)", got, want)
+	}
+	if res.MaxP().Float() != l.P.Float() {
+		t.Errorf("MaxP = %v, want the single leak's p", res.MaxP())
+	}
+}
+
+func TestAttachIFC(t *testing.T) {
+	prog := ifcLeakyProg()
+	prof, err := ProbProf(prog, nil, Options{Seed: 1, DisableSampling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := &obs.Report{}
+	AttachIFC(rep, prog, prof)
+	if rep.IFC == nil {
+		t.Fatal("report has no ifc block")
+	}
+	if len(rep.IFC.Leaks) != 1 || rep.IFC.Leaks[0].Flow != "implicit" {
+		t.Fatalf("ifc summary: %+v", rep.IFC)
+	}
+	if rep.IFC.Leaks[0].Witness == "" {
+		t.Error("leak has no rendered witness")
+	}
+	if rep.IFC.MaxP != rep.IFC.Leaks[0].P {
+		t.Errorf("summary MaxP %g != leak p %g", rep.IFC.MaxP, rep.IFC.Leaks[0].P)
+	}
+
+	// No inline policy: the report must keep its shape (no ifc block).
+	clean := &ir.Program{
+		Name: "nopolicy",
+		Root: ir.Body(ir.Blk("b", ir.Fwd(1))),
+	}
+	cp := clean.MustBuild()
+	cprof, err := ProbProf(cp, nil, Options{Seed: 1, DisableSampling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crep := &obs.Report{}
+	AttachIFC(crep, cp, cprof)
+	if crep.IFC != nil {
+		t.Errorf("policy-free program grew an ifc block: %+v", crep.IFC)
+	}
+}
+
+func TestWeightIFCNilSafe(t *testing.T) {
+	WeightIFC(nil, nil) // must not panic
+	res := analysis.IFCOnly(ifcLeakyProg())
+	WeightIFC(res, nil)
+	if res.Leaks[0].Weighted {
+		t.Error("nil profile must leave leaks unweighted")
+	}
+}

@@ -519,6 +519,12 @@ type Program struct {
 	// Root is the per-packet processing body.
 	Root Stmt
 
+	// Policy is the optional information-flow policy (secret sources and
+	// public sinks) consumed by the analysis package's ifc pass. Nil means
+	// no policy: the ifc pass is skipped. Pure metadata — execution,
+	// profiling, and model counting ignore it.
+	Policy *SecPolicy
+
 	// Assigned by Build.
 	nodes       []*Block
 	fieldByName map[string]Field

@@ -1,0 +1,124 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Information-flow policy metadata. A program may carry an optional
+// SecPolicy naming its secret sources (header fields, registers, state
+// structures, metadata) and its public sinks (observable actions and
+// control-plane-readable structures). The policy is pure metadata: it does
+// not affect execution, profiling, or model counting — only the
+// information-flow lint pass in internal/analysis consumes it.
+
+// Policy reference kinds. Secrets may use any kind except KindAction;
+// sinks may use any kind except KindField and KindMeta.
+const (
+	KindField    = "field"    // packet header field
+	KindRegister = "register" // scalar register
+	KindArray    = "array"    // register array
+	KindHash     = "hash"     // CRC hash table
+	KindBloom    = "bloom"    // Bloom filter
+	KindSketch   = "sketch"   // count-min sketch
+	KindMeta     = "meta"     // per-packet metadata slot
+	KindAction   = "action"   // terminal action (forward, digest, to_cpu, ...)
+)
+
+// SecRef names one policy object: a secret source or a public sink.
+type SecRef struct {
+	Kind string // one of the Kind* constants
+	Name string // object name; for KindAction, an ActionKind string
+}
+
+func (r SecRef) String() string { return r.Kind + ":" + r.Name }
+
+// SecPolicy is a program's information-flow policy: which objects hold
+// secrets and which observation points are public. It is declared inline
+// in the mini-language (`policy { secret field src_ip; sink action digest; }`),
+// set directly on zoo builders, or loaded from a JSON file by the lint CLI.
+type SecPolicy struct {
+	Secrets []SecRef
+	Sinks   []SecRef
+}
+
+// Empty reports whether the policy declares neither secrets nor sinks.
+func (sp *SecPolicy) Empty() bool {
+	return sp == nil || (len(sp.Secrets) == 0 && len(sp.Sinks) == 0)
+}
+
+// Merge appends the other policy's entries, dropping exact duplicates.
+// Parsing multiple `policy` blocks folds them into one.
+func (sp *SecPolicy) Merge(other *SecPolicy) {
+	if other == nil {
+		return
+	}
+	sp.Secrets = mergeRefs(sp.Secrets, other.Secrets)
+	sp.Sinks = mergeRefs(sp.Sinks, other.Sinks)
+}
+
+func mergeRefs(dst, add []SecRef) []SecRef {
+	for _, r := range add {
+		dup := false
+		for _, d := range dst {
+			if d == r {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, r)
+		}
+	}
+	return dst
+}
+
+// Format renders the policy as a mini-language block (two-space indented),
+// the inverse of the p4c front end's `policy { ... }` parser.
+func (sp *SecPolicy) Format() string {
+	if sp.Empty() {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("  policy {\n")
+	for _, r := range sp.Secrets {
+		fmt.Fprintf(&b, "    secret %s %s;\n", r.Kind, r.Name)
+	}
+	for _, r := range sp.Sinks {
+		fmt.Fprintf(&b, "    sink %s %s;\n", r.Kind, r.Name)
+	}
+	b.WriteString("  }\n")
+	return b.String()
+}
+
+// ActionKindByName maps an action's String() form back to its kind, for
+// policy references like `sink action digest`.
+func ActionKindByName(name string) (ActionKind, bool) {
+	for k := ActNoOp; k <= ActToBackend; k++ {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// ValidSecretKind reports whether kind may appear in a `secret` reference.
+func ValidSecretKind(kind string) bool {
+	switch kind {
+	case KindField, KindRegister, KindArray, KindHash, KindBloom, KindSketch, KindMeta:
+		return true
+	}
+	return false
+}
+
+// ValidSinkKind reports whether kind may appear in a `sink` reference.
+// Header fields and metadata are inputs, not observation points; the
+// observable surface is the action vocabulary plus control-plane-readable
+// state structures.
+func ValidSinkKind(kind string) bool {
+	switch kind {
+	case KindAction, KindRegister, KindArray, KindHash, KindBloom, KindSketch:
+		return true
+	}
+	return false
+}

@@ -37,6 +37,9 @@ func (p *Program) Format() string {
 	for _, s := range p.Sketches {
 		fmt.Fprintf(&b, "  sketch %s[%dx%d];\n", s.Name, s.Rows, s.Cols)
 	}
+	if !p.Policy.Empty() {
+		b.WriteString(p.Policy.Format())
+	}
 	for _, t := range p.Tables {
 		formatTable(&b, p, &t, 1)
 	}

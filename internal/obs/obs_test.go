@@ -186,8 +186,8 @@ func TestHistogramQuantiles(t *testing.T) {
 }
 
 // goldenReport is a fixed report exercising every schema field; the golden
-// file locks the v2 JSON shape (key names, nesting, clamping, the job
-// metadata block).
+// file locks the v3 JSON shape (key names, nesting, clamping, the job
+// metadata block, the ifc leak summary).
 func goldenReport() *Report {
 	return &Report{
 		SchemaVersion: SchemaVersion,
@@ -203,8 +203,8 @@ func goldenReport() *Report {
 			FinishedAt:  "2026-01-02T03:04:06.500000006Z",
 			WaitSec:     0.25,
 		},
-		WallSec:       1.25,
-		Stages:        map[string]float64{"sym": 0.75, "merge": 0.25, "sample": 0.2},
+		WallSec: 1.25,
+		Stages:  map[string]float64{"sym": 0.75, "merge": 0.25, "sample": 0.2},
 		Iterations: []IterationRecord{
 			{Iter: 0, Paths: 12, MergedTo: 4, Forks: 11, Constraints: 30,
 				MaxDiff: 0.5, MCQueries: 12, MCHitRate: 0.25, SymSec: 0.4,
@@ -219,6 +219,22 @@ func goldenReport() *Report {
 			{Rank: 1, ID: 3, Label: "tcp_sample", P: 0, Log10P: math.Inf(-1), Source: "telescope"},
 			{Rank: 2, ID: 1, Label: "tcp", P: 0.00390625, Log10P: -2.408239965311849, Source: "symbex"},
 		},
+		IFC: &IFCSummary{
+			Secrets: []string{"register:tcp_cnt"},
+			Sinks:   []string{"action:mirror"},
+			Leaks: []LeakReport{
+				{Source: "register:tcp_cnt", Sink: "action:mirror", Node: 3,
+					Block: "tcp_sample", Flow: "implicit",
+					Witness: "tcp(#1) -> tcp_sample(#3)",
+					P:       0.00390625, Log10P: -2.408239965311849, Weighted: true},
+				{Source: "register:tcp_cnt", Sink: "action:mirror", Node: 5,
+					Block: "udp_sample", Flow: "implicit",
+					Witness: "udp(#4) -> udp_sample(#5)",
+					P:       0, Log10P: math.Inf(-1), Weighted: true},
+			},
+			MaxP:      0.00390625,
+			MaxLog10P: -2.408239965311849,
+		},
 		Metrics: map[string]float64{"core.iterations": 2, "sym.forks": 30},
 	}
 }
@@ -229,7 +245,7 @@ func TestReportGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	data = append(data, '\n')
-	golden := filepath.Join("testdata", "report_v2.json")
+	golden := filepath.Join("testdata", "report_v3.json")
 	if os.Getenv("UPDATE_GOLDEN") != "" {
 		if err := os.WriteFile(golden, data, 0o644); err != nil {
 			t.Fatal(err)
@@ -260,15 +276,26 @@ func TestReportGolden(t *testing.T) {
 	if back.Job == nil || back.Job.ID != goldenReport().Job.ID || back.Job.WaitSec != 0.25 {
 		t.Fatalf("job metadata round-trip: %+v", back.Job)
 	}
-	// Offline reports must omit the job block entirely.
+	if back.IFC == nil || len(back.IFC.Leaks) != 2 || back.IFC.Leaks[0].Flow != "implicit" {
+		t.Fatalf("ifc summary round-trip: %+v", back.IFC)
+	}
+	if back.IFC.Leaks[1].Log10P != minLog10 {
+		t.Fatalf("leak -Inf should clamp to %g, got %g", minLog10, back.IFC.Leaks[1].Log10P)
+	}
+	// Offline reports must omit the job block entirely, and policy-free
+	// programs the ifc block.
 	plain := goldenReport()
 	plain.Job = nil
+	plain.IFC = nil
 	data, err = json.Marshal(plain)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if bytes.Contains(data, []byte(`"job"`)) {
 		t.Fatalf("nil Job must not serialize: %s", data)
+	}
+	if bytes.Contains(data, []byte(`"ifc"`)) {
+		t.Fatalf("nil IFC must not serialize: %s", data)
 	}
 }
 

@@ -14,7 +14,9 @@ import (
 // revisions and needs to detect incompatibility.
 //
 // v2 added the optional "job" block (service-layer job metadata) to Report.
-const SchemaVersion = 2
+// v3 added the optional "ifc" block (information-flow leak summary) to
+// Report.
+const SchemaVersion = 3
 
 // Report is the versioned machine-readable artifact of one profiling run:
 // what was profiled, with which options, how the estimate converged, where
@@ -43,7 +45,61 @@ type Report struct {
 	Coverage  float64      `json:"coverage"`
 	Nodes     []NodeReport `json:"nodes"`
 
+	// IFC carries the information-flow lint summary when the profiled
+	// program declares a security policy; nil otherwise (schema v3).
+	IFC *IFCSummary `json:"ifc,omitempty"`
+
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// IFCSummary summarizes the information-flow pass over the profiled
+// program: the policy that was checked and every leak found, ranked by the
+// probability real traffic exercises the leaking path (leaks are weighted
+// against this report's own block probabilities).
+type IFCSummary struct {
+	Secrets []string     `json:"secrets"`
+	Sinks   []string     `json:"sinks"`
+	Leaks   []LeakReport `json:"leaks"`
+	// MaxP / MaxLog10P give the most probable leak's path probability
+	// (0 / clamped when no leak is weighted) — the single number a CI
+	// gate compares against a threshold.
+	MaxP      float64 `json:"max_p"`
+	MaxLog10P float64 `json:"max_log10_p"`
+}
+
+// LeakReport is one secret-to-sink flow.
+type LeakReport struct {
+	Source  string `json:"source"` // "kind:name"
+	Sink    string `json:"sink"`
+	Node    int    `json:"node"` // sink CFG node
+	Block   string `json:"block"`
+	Flow    string `json:"flow"`    // "explicit" | "implicit"
+	Witness string `json:"witness"` // source→sink chain as "label(#id) -> ..."
+	// P / Log10P weight the leak by its witness path's block
+	// probabilities; Weighted is false when no profile join happened.
+	P        float64 `json:"p"`
+	Log10P   float64 `json:"log10_p"`
+	Weighted bool    `json:"weighted"`
+}
+
+// MarshalJSON clamps -Inf log probabilities the same way NodeReport does.
+func (l LeakReport) MarshalJSON() ([]byte, error) {
+	type alias LeakReport
+	a := alias(l)
+	if a.Log10P < minLog10 {
+		a.Log10P = minLog10
+	}
+	return json.Marshal(a)
+}
+
+// MarshalJSON clamps the summary's -Inf max the same way.
+func (s IFCSummary) MarshalJSON() ([]byte, error) {
+	type alias IFCSummary
+	a := alias(s)
+	if a.MaxLog10P < minLog10 {
+		a.MaxLog10P = minLog10
+	}
+	return json.Marshal(a)
 }
 
 // JobMeta identifies one service-layer job: the content-addressed job ID
@@ -110,6 +166,21 @@ func (r *Report) Summary() string {
 		}
 		rows = append(rows, []string{"(sum)", fmt.Sprintf("%.3f", total), ""})
 		b.WriteString(Table([]string{"stage", "sec", "of wall"}, rows))
+	}
+
+	if r.IFC != nil {
+		fmt.Fprintf(&b, "ifc: %d leak(s), max leak p %.3g\n", len(r.IFC.Leaks), r.IFC.MaxP)
+		var rows [][]string
+		for _, l := range r.IFC.Leaks {
+			pcell := "-"
+			if l.Weighted {
+				pcell = fmt.Sprintf("%.3g", l.P)
+			}
+			rows = append(rows, []string{l.Source, l.Sink, l.Flow, pcell, l.Witness})
+		}
+		if len(rows) > 0 {
+			b.WriteString(Table([]string{"secret", "sink", "flow", "p", "witness"}, rows))
+		}
 	}
 
 	if len(r.Metrics) > 0 {

@@ -170,6 +170,17 @@ func (p *parser) parseProgram() (*ir.Program, error) {
 				return nil, err
 			}
 			prog.Sketches = append(prog.Sketches, sk)
+		case "policy":
+			p.next()
+			pol, err := p.parsePolicy()
+			if err != nil {
+				return nil, err
+			}
+			if prog.Policy == nil {
+				prog.Policy = pol
+			} else {
+				prog.Policy.Merge(pol)
+			}
 		case "table":
 			p.next()
 			t, err := p.parseTable()
@@ -201,6 +212,65 @@ func (p *parser) parseProgram() (*ir.Program, error) {
 			return nil, p.errf("expected a declaration or apply block")
 		}
 	}
+}
+
+// parsePolicy reads an information-flow policy block:
+//
+//	policy {
+//	  secret field src_ip;
+//	  secret register syn_cnt;
+//	  sink action digest;
+//	  sink sketch flow_cnt;
+//	}
+//
+// Kinds are checked here (secrets cannot be actions; sinks cannot be
+// fields or metadata); whether the named object exists is the analysis
+// verifier's job, so a lenient parse can still report every problem.
+func (p *parser) parsePolicy() (*ir.SecPolicy, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	pol := &ir.SecPolicy{}
+	for !p.accept("}") {
+		var secret bool
+		switch {
+		case p.accept("secret"):
+			secret = true
+		case p.accept("sink"):
+			secret = false
+		default:
+			return nil, p.errf("expected 'secret' or 'sink' in policy")
+		}
+		kind, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if secret && !ir.ValidSecretKind(kind) {
+			return nil, p.errf("invalid secret kind %q", kind)
+		}
+		if !secret && !ir.ValidSinkKind(kind) {
+			return nil, p.errf("invalid sink kind %q", kind)
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if kind == ir.KindAction {
+			if _, ok := ir.ActionKindByName(name); !ok {
+				return nil, p.errf("unknown action %q in policy", name)
+			}
+		}
+		ref := ir.SecRef{Kind: kind, Name: name}
+		if secret {
+			pol.Secrets = append(pol.Secrets, ref)
+		} else {
+			pol.Sinks = append(pol.Sinks, ref)
+		}
+		if err := p.expect(";"); err != nil {
+			return nil, err
+		}
+	}
+	return pol, nil
 }
 
 func (p *parser) parseField() (ir.Field, error) {

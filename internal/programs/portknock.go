@@ -14,6 +14,14 @@ func PortKnock() *ir.Program {
 	return mustBuild(&ir.Program{
 		Name:       "portknock",
 		HashTables: []ir.HashTableDecl{{Name: "knock_state", Size: 1024, Seed: 31}},
+		// The canonical IFC example: the knock-progress table is the
+		// secret, and whether an SSH packet gets forwarded reveals whether
+		// its sender completed the sequence — an implicit flow through the
+		// ssh_allow branch.
+		Policy: &ir.SecPolicy{
+			Secrets: []ir.SecRef{{Kind: ir.KindHash, Name: "knock_state"}},
+			Sinks:   []ir.SecRef{{Kind: ir.KindAction, Name: "forward"}},
+		},
 		Root: ir.Body(
 			ir.If2(ir.Eq(ir.F("dst_port"), ir.C(1111)),
 				ir.Blk("knock1",

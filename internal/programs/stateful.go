@@ -45,6 +45,12 @@ func LB() *ir.Program {
 			{Name: "load2", Bits: 32}, {Name: "load3", Bits: 32},
 		},
 		HashTables: []ir.HashTableDecl{{Name: "conn", Size: 256, Seed: 1}},
+		// The connection-pinning table encodes which flows exist; a
+		// recirculation observably depends on its occupancy (collisions).
+		Policy: &ir.SecPolicy{
+			Secrets: []ir.SecRef{{Kind: ir.KindHash, Name: "conn"}},
+			Sinks:   []ir.SecRef{{Kind: ir.KindAction, Name: "recirculate"}},
+		},
 		Root: ir.Body(
 			ir.SetM("slot", ir.Hash(1, 4, ir.F("src_ip"), ir.F("dst_ip"), ir.F("src_port"), ir.F("dst_port"), ir.F("proto"))),
 			// Connection table pins flows to their slot (SilkRoad-style).
@@ -74,6 +80,12 @@ func Flowlet() *ir.Program {
 		Regs: []ir.RegDecl{{Name: "flowlet_cnt", Bits: 32}},
 		HashTables: []ir.HashTableDecl{
 			{Name: "flowlet_port", Size: 1024, Seed: 2},
+		},
+		// Flowlet pinning state leaks through observable recirculations on
+		// collisions, exactly like the LB connection table.
+		Policy: &ir.SecPolicy{
+			Secrets: []ir.SecRef{{Kind: ir.KindHash, Name: "flowlet_port"}},
+			Sinks:   []ir.SecRef{{Kind: ir.KindAction, Name: "recirculate"}},
 		},
 		Root: ir.Body(
 			ir.SetM("newport", ir.Hash(3, 4, ir.F("src_ip"), ir.F("dst_ip"), ir.F("src_port"), ir.F("dst_port"), ir.F("ipd"))),
@@ -105,6 +117,15 @@ func Counter(n uint64) *ir.Program {
 	return mustBuild(&ir.Program{
 		Name: "counter",
 		Regs: []ir.RegDecl{{Name: "tcp_cnt", Bits: 32}, {Name: "udp_cnt", Bits: 32}},
+		// The counters are cross-packet state; whether the N-th packet gets
+		// mirrored reveals their value to whoever watches the mirror port.
+		Policy: &ir.SecPolicy{
+			Secrets: []ir.SecRef{
+				{Kind: ir.KindRegister, Name: "tcp_cnt"},
+				{Kind: ir.KindRegister, Name: "udp_cnt"},
+			},
+			Sinks: []ir.SecRef{{Kind: ir.KindAction, Name: "mirror"}},
+		},
 		Root: ir.Body(
 			ir.If2(ir.Eq(ir.F("proto"), ir.C(ir.ProtoTCP)),
 				ir.Blk("tcp",
@@ -127,6 +148,10 @@ func HTable(size int, n uint64) *ir.Program {
 	return mustBuild(&ir.Program{
 		Name:       "htable",
 		HashTables: []ir.HashTableDecl{{Name: "flow_cnt", Size: size, Seed: 5}},
+		Policy: &ir.SecPolicy{
+			Secrets: []ir.SecRef{{Kind: ir.KindHash, Name: "flow_cnt"}},
+			Sinks:   []ir.SecRef{{Kind: ir.KindAction, Name: "mirror"}},
+		},
 		Root: ir.Body(
 			&ir.HashAccess{
 				Store: "flow_cnt", Key: ir.FlowKey(), Write: true, Inc: true,
@@ -148,6 +173,10 @@ func CMSketch(cols int, n uint64) *ir.Program {
 	return mustBuild(&ir.Program{
 		Name:     "cmsketch",
 		Sketches: []ir.SketchDecl{{Name: "flow_cnt", Rows: 3, Cols: cols}},
+		Policy: &ir.SecPolicy{
+			Secrets: []ir.SecRef{{Kind: ir.KindSketch, Name: "flow_cnt"}},
+			Sinks:   []ir.SecRef{{Kind: ir.KindAction, Name: "mirror"}},
+		},
 		Root: ir.Body(
 			&ir.SketchUpdate{Sketch: "flow_cnt", Key: ir.FlowKey(), Inc: ir.C(1), Dest: "est"},
 			ir.If2(ir.Eq(ir.Mod(ir.M("est"), ir.C(n)), ir.C(0)),
@@ -164,6 +193,12 @@ func BFilter(bits int, n uint64) *ir.Program {
 		Name:   "bfilter",
 		Regs:   []ir.RegDecl{{Name: "hit_cnt", Bits: 32}},
 		Blooms: []ir.BloomDecl{{Name: "seen", Bits: bits, Hashes: 3}},
+		// Filter membership (which flows were seen before) is the secret;
+		// the sampled mirror reveals it.
+		Policy: &ir.SecPolicy{
+			Secrets: []ir.SecRef{{Kind: ir.KindBloom, Name: "seen"}},
+			Sinks:   []ir.SecRef{{Kind: ir.KindAction, Name: "mirror"}},
+		},
 		Root: ir.Body(
 			&ir.BloomOp{
 				Filter: "seen", Key: ir.FlowKey(), Insert: true,

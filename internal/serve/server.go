@@ -378,8 +378,8 @@ func oracleFor(spec JobSpec, meta *programs.Meta) dist.Oracle {
 	return trace.NewQueryProcessor(trace.Generate(gen))
 }
 
-// runProfile executes a profile job and renders the v2 run report with job
-// metadata attached.
+// runProfile executes a profile job and renders the versioned run report
+// with job metadata attached.
 func (s *Server) runProfile(ctx context.Context, j *Job, prog *ir.Program, meta *programs.Meta) ([]byte, error) {
 	opt := j.Spec.Options.Options()
 	opt.Context = ctx
@@ -393,6 +393,7 @@ func (s *Server) runProfile(ctx context.Context, j *Job, prog *ir.Program, meta 
 		return nil, err
 	}
 	rep := core.NewReport(prof, opt)
+	core.AttachIFC(rep, prog, prof)
 	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 	rep.Job = s.jobMeta(j)
 	data, err := json.MarshalIndent(rep, "", "  ")

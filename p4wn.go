@@ -55,6 +55,13 @@ type (
 	SystemMeta = programs.Meta
 	// LintReport is the combined result of the static-analysis passes.
 	LintReport = analysis.Report
+	// SecPolicy is an information-flow policy: secret sources and public
+	// sinks (declared inline via the mini-language's `policy` block, on a
+	// zoo builder, or loaded from JSON with LoadPolicy).
+	SecPolicy = ir.SecPolicy
+	// IFCResult is the information-flow pass's structured output: every
+	// secret-to-sink leak with its witness chain and probability weight.
+	IFCResult = analysis.IFCResult
 	// RunReport is the versioned machine-readable artifact of one profiling
 	// run (schema_version, options, convergence trajectory, stage timings,
 	// final profile, metrics).
@@ -100,6 +107,29 @@ func Report(prof *ProfileResult, opt ProfileOptions) *RunReport {
 // def-use linting, and interval-based dead-branch detection. The report's
 // PruneSet is what the profiler skips when pruning is enabled.
 func Lint(prog *Program) *LintReport { return analysis.Analyze(prog) }
+
+// LintWithPolicy runs the full lint suite with an extra information-flow
+// policy merged over the program's inline one; the ifc pass runs when the
+// merge is non-empty and its structured result lands in LintReport.IFC.
+func LintWithPolicy(prog *Program, extra *SecPolicy) *LintReport {
+	return analysis.AnalyzeWithPolicy(prog, extra)
+}
+
+// LoadPolicy reads an information-flow policy from a JSON file
+// ({"secrets": [{"kind","name"}, ...], "sinks": [...]}).
+func LoadPolicy(path string) (*SecPolicy, error) { return analysis.LoadPolicy(path) }
+
+// WeightIFC ranks an information-flow result against a finished profile:
+// each leak is weighted by the rarest block on its witness chain and leaks
+// re-sort most-probable first.
+func WeightIFC(res *IFCResult, prof *ProfileResult) { core.WeightIFC(res, prof) }
+
+// AttachIFC runs the information-flow pass over a profiled program (when
+// it declares an inline policy), weights the leaks against the profile,
+// and attaches the summary block to the run report.
+func AttachIFC(rep *RunReport, prog *Program, prof *ProfileResult) {
+	core.AttachIFC(rep, prog, prof)
+}
 
 // GenerateTraffic synthesizes a CAIDA-like workload.
 func GenerateTraffic(opt TrafficOptions) *Traffic { return trace.Generate(opt) }

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Information-flow sweep: run the probability-weighted ifc lint over every
+# annotated program — the example files under examples/programs/ and every
+# zoo program carrying an inline policy — and summarize leak counts and the
+# maximum leak probability per program.
+#
+# Exits non-zero if any lint invocation fails outright, if a program that
+# must be clean reports a leak, or if a program that must leak reports
+# none. The summary table goes to stdout (and into $IFC_SWEEP_OUT if set).
+#
+# Requires: go. Run from anywhere; it cds to the repo root.
+set -euo pipefail
+
+cd "$(cd "$(dirname "$0")/.." && pwd)"
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+fail() { echo "ifc_sweep: FAIL: $*" >&2; exit 1; }
+
+echo "== build"
+go build -o "$WORK/p4wn" ./cmd/p4wn
+
+# sweep <label> <flags...> — lint one program, record "label leaks maxp".
+sweep() {
+  local label="$1"; shift
+  local out="$WORK/$label.out"
+  if ! "$WORK/p4wn" lint "$@" -weighted >"$out" 2>&1; then
+    cat "$out" >&2
+    fail "lint of $label exited nonzero"
+  fi
+  local line leaks maxp
+  line=$(grep -E '^ifc ' "$out" | head -1) || fail "no ifc summary for $label"
+  leaks=$(sed -E 's/.*: ([0-9]+) leak\(s\).*/\1/' <<<"$line")
+  maxp=$(sed -nE 's/.*max leak p ([0-9.e+-]+).*/\1/p' <<<"$line")
+  printf '%-16s %6s %12s\n' "$label" "$leaks" "${maxp:--}" >>"$WORK/summary"
+  echo "$leaks"
+}
+
+echo "== sweep: example programs"
+for f in examples/programs/*.p4w; do
+  name=$(basename "$f" .p4w)
+  leaks=$(sweep "$name" -file "$f")
+  case "$name" in
+    ifc_clean) [ "$leaks" = 0 ] || fail "ifc_clean must be leak-free, got $leaks" ;;
+    ifc_leaky) [ "$leaks" = 1 ] || fail "ifc_leaky must report exactly 1 leak, got $leaks" ;;
+    *)         [ "$leaks" -ge 1 ] || fail "$name carries a policy but reported no leaks" ;;
+  esac
+done
+
+echo "== sweep: zoo programs with inline policies"
+# Every zoo program whose lint output contains an ifc section is annotated.
+# Names may contain spaces ("lb (S1)"), so read them line by line with the
+# LoC/structures columns stripped.
+"$WORK/p4wn" list | awk 'NR>1' | sed -E 's/ +[0-9]+ +.*$//' \
+  >"$WORK/zoo.names"
+while IFS= read -r prog; do
+  if "$WORK/p4wn" lint -prog "$prog" -ifc >"$WORK/probe.out" 2>&1 &&
+     grep -qE '^ifc ' "$WORK/probe.out"; then
+    label=$(printf '%s' "$prog" | tr -c 'A-Za-z0-9._-' '_')
+    sweep "$label" -prog "$prog" >/dev/null
+  fi
+done <"$WORK/zoo.names"
+
+echo
+printf '%-16s %6s %12s\n' program leaks 'max leak p'
+sort "$WORK/summary"
+[ "$(wc -l <"$WORK/summary")" -ge 10 ] \
+  || fail "sweep covered fewer programs than expected"
+if [ -n "${IFC_SWEEP_OUT:-}" ]; then
+  { printf '%-16s %6s %12s\n' program leaks 'max leak p'; sort "$WORK/summary"; } >"$IFC_SWEEP_OUT"
+fi
+
+echo "ifc_sweep: PASS"

@@ -54,7 +54,7 @@ grep -q "iter" "$WORK/follow.log" || fail "no progress lines streamed over SSE"
 
 # The profile itself must be identical; only the job block and the
 # run-local wall-clock numbers may differ between served and offline runs.
-PROFILE_VIEW='{schema_version, kind, program, options, converged, coverage, nodes}'
+PROFILE_VIEW='{schema_version, kind, program, options, converged, coverage, nodes, ifc}'
 jq -S "$PROFILE_VIEW" "$WORK/offline.json" > "$WORK/offline.profile"
 jq -S "$PROFILE_VIEW" "$WORK/served.json"  > "$WORK/served.profile"
 diff -u "$WORK/offline.profile" "$WORK/served.profile" \
