@@ -300,6 +300,42 @@ func runResult(args []string) {
 	}
 }
 
+// runTrace downloads a job's span tree as Chrome trace_event JSON, ready
+// to open in chrome://tracing or https://ui.perfetto.dev.
+func runTrace(args []string) {
+	fs := newFlagSet("trace", "trace -id job [-o trace.json] [-addr url]")
+	addr := addrFlag(fs)
+	id := fs.String("id", "", "job ID")
+	out := fs.String("o", "", "write the trace here instead of stdout")
+	parseFlags(fs, args)
+	if *id == "" {
+		fmt.Fprintln(os.Stderr, "p4wn trace: -id required")
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	resp, err := http.Get(baseURL(*addr) + "/debug/trace/" + *id)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fatal(apiError(resp, body))
+	}
+	if *out == "" {
+		os.Stdout.Write(body)
+		return
+	}
+	if err := os.WriteFile(*out, body, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote trace to %s (open in chrome://tracing or ui.perfetto.dev)\n", *out)
+}
+
 // runCancel cancels a queued or running job.
 func runCancel(args []string) {
 	fs := newFlagSet("cancel", "cancel -id job [-addr url]")

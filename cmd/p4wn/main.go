@@ -86,10 +86,11 @@ var commands = map[string]func(args []string){
 	"status":      runStatus,
 	"result":      runResult,
 	"cancel":      runCancel,
+	"trace":       runTrace,
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: p4wn <list|lint|profile|adversarial|backtest|monitor|submit|status|result|cancel> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: p4wn <list|lint|profile|adversarial|backtest|monitor|submit|status|result|cancel|trace> [flags]")
 }
 
 // newFlagSet builds a subcommand flag set with the uniform error
@@ -300,7 +301,7 @@ func printLeaks(prog *p4wn.Program, res *p4wn.IFCResult) {
 }
 
 func runProfile(args []string) {
-	fs := newFlagSet("profile", "profile (-prog name | -file prog.p4w) [-uniform] [-seed n] [-workers n] [-v] [-report out.json] [-metrics-addr host:port] [-cpuprofile f] [-memprofile f]")
+	fs := newFlagSet("profile", "profile (-prog name | -file prog.p4w) [-uniform] [-seed n] [-workers n] [-v] [-report out.json] [-hotblocks out.pprof] [-metrics-addr host:port] [-cpuprofile f] [-memprofile f]")
 	progName := fs.String("prog", "", "program name from `p4wn list`")
 	progFile := fs.String("file", "", "mini-language source file (alternative to -prog)")
 	seed := fs.Int64("seed", 1, "random seed")
@@ -308,6 +309,7 @@ func runProfile(args []string) {
 	workers := fs.Int("workers", 0, "profiler parallelism; 0 selects GOMAXPROCS")
 	verbose := fs.Bool("v", false, "stream per-iteration trace lines to stderr")
 	reportPath := fs.String("report", "", "write the JSON run report to this path")
+	hotPath := fs.String("hotblocks", "", "write the hot-block exploration profile (pprof format) to this path")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, expvar, and pprof on this address for the run")
 	cpuProfile := fs.String("cpuprofile", "", "write a Go CPU profile to this path")
 	memProfile := fs.String("memprofile", "", "write a Go heap profile to this path")
@@ -352,6 +354,20 @@ func runProfile(args []string) {
 			fatal(err)
 		}
 		fmt.Printf("wrote run report to %s\n", *reportPath)
+	}
+	if *hotPath != "" {
+		f, err := os.Create(*hotPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteHotBlockPprof(f, prog.Name, rep.HotBlocks); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote hot-block profile to %s (inspect with `go tool pprof`)\n", *hotPath)
 	}
 	if err := stopProfiles(); err != nil {
 		fatal(err)

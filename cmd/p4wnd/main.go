@@ -4,9 +4,9 @@
 // serves results from a content-addressed store so identical submissions
 // never recompute.
 //
-//	p4wnd -addr :8471 -store results/store
+//	p4wnd -addr :8471 -store results/store -log-format json
 //
-// API (see `p4wn submit|status|result|cancel` for the client side):
+// API (see `p4wn submit|status|result|cancel|trace` for the client side):
 //
 //	POST   /v1/jobs             submit a job spec (429 + Retry-After on a
 //	                            full queue; 200 when served from the store)
@@ -16,7 +16,14 @@
 //	GET    /v1/jobs/{id}/events live progress stream (Server-Sent Events)
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/healthz          serving | draining
-//	GET    /metrics             registry snapshot (+ expvar, pprof)
+//	GET    /metrics             Prometheus text exposition (+ expvar, pprof)
+//	GET    /debug/trace/{id}    job span tree as Chrome trace_event JSON
+//
+// Logs are structured (log/slog): -log-format selects text or json,
+// -log-level the threshold, and the P4WND_LOG environment variable supplies
+// defaults for both as "format" or "format:level" (e.g. "json:debug") when
+// the flags are not set. Every job-scoped record carries job_id and
+// trace_id, so log lines join against /debug/trace exports.
 //
 // SIGTERM/SIGINT drains gracefully: intake stops (submissions get 503),
 // in-flight and queued jobs finish and persist their results, then the
@@ -29,25 +36,71 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/serve"
 )
 
-func main() {
-	log.SetFlags(0)
-	log.SetPrefix("p4wnd: ")
+// envLogDefaults parses P4WND_LOG ("format" or "format:level") into
+// defaults for the -log-format and -log-level flags.
+func envLogDefaults() (format, level string) {
+	format, level = "text", "info"
+	env := strings.TrimSpace(os.Getenv("P4WND_LOG"))
+	if env == "" {
+		return format, level
+	}
+	f, l, ok := strings.Cut(env, ":")
+	if f = strings.TrimSpace(f); f != "" {
+		format = f
+	}
+	if ok {
+		if l = strings.TrimSpace(l); l != "" {
+			level = l
+		}
+	}
+	return format, level
+}
 
+// buildLogger resolves the format/level pair into a slog.Logger writing to
+// stderr. Unknown values are reported, not defaulted silently.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text|json)", format)
+	}
+}
+
+func main() {
 	fs := flag.NewFlagSet("p4wnd", flag.ContinueOnError)
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: p4wnd [-addr host:port] [-store dir] [-queue n] [-jobs n] [-workers n] [-job-timeout d] [-max-job-timeout d] [-drain-timeout d] [-store-cap n] [-max-paths n]")
+		fmt.Fprintln(os.Stderr, "usage: p4wnd [-addr host:port] [-store dir] [-queue n] [-jobs n] [-workers n] [-job-timeout d] [-max-job-timeout d] [-drain-timeout d] [-store-cap n] [-max-paths n] [-replay-cap n] [-log-format text|json] [-log-level debug|info|warn|error]")
 	}
+	defFormat, defLevel := envLogDefaults()
 	addr := fs.String("addr", "127.0.0.1:8471", "listen address")
 	storeDir := fs.String("store", "results/store", "content-addressed result store directory")
 	storeCap := fs.Int("store-cap", 256, "in-memory result cache entries")
@@ -58,6 +111,9 @@ func main() {
 	maxJobTimeout := fs.Duration("max-job-timeout", 30*time.Minute, "clamp on requested job timeouts")
 	drainTimeout := fs.Duration("drain-timeout", 2*time.Minute, "graceful-drain bound on shutdown")
 	maxPaths := fs.Int("max-paths", 1<<20, "per-job MaxPaths quota (<0 disables)")
+	replayCap := fs.Int("replay-cap", 4096, "per-job SSE replay buffer bound in lines")
+	logFormat := fs.String("log-format", defFormat, "log output format: text or json (default from P4WND_LOG)")
+	logLevel := fs.String("log-level", defLevel, "log threshold: debug, info, warn, or error")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			os.Exit(0)
@@ -70,6 +126,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p4wnd: %v\n", err)
+		os.Exit(2)
+	}
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "error", err.Error())
+		os.Exit(1)
+	}
+
 	srv, err := serve.New(serve.Config{
 		StoreDir:          *storeDir,
 		StoreCap:          *storeCap,
@@ -79,28 +145,31 @@ func main() {
 		DefaultJobTimeout: *jobTimeout,
 		MaxJobTimeout:     *maxJobTimeout,
 		MaxPathsQuota:     *maxPaths,
+		ReplayCap:         *replayCap,
+		Logger:            logger,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("start server", err)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal(err)
+		fatal("listen", err)
 	}
 	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	go func() {
 		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
-			log.Fatal(err)
+			fatal("serve http", err)
 		}
 	}()
-	log.Printf("serving on http://%s (store %s, queue %d, %d job workers)",
-		ln.Addr(), srv.Store().Dir(), *queueDepth, *jobWorkers)
+	logger.Info("serving", "addr", "http://"+ln.Addr().String(),
+		"store", srv.Store().Dir(), "queue", *queueDepth, "job_workers", *jobWorkers)
 
 	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	<-sigCtx.Done()
 	stop() // a second signal kills the process the default way
-	log.Printf("draining (bound %s): no new jobs; finishing in-flight work", *drainTimeout)
+	logger.Info("draining: no new jobs; finishing in-flight work",
+		"bound", drainTimeout.String())
 
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
@@ -111,8 +180,8 @@ func main() {
 	defer cancelHTTP()
 	httpSrv.Shutdown(httpCtx)
 	if drainErr != nil {
-		log.Printf("drain incomplete: %v", drainErr)
+		logger.Error("drain incomplete", "error", drainErr.Error())
 		os.Exit(1)
 	}
-	log.Printf("drained cleanly")
+	logger.Info("drained cleanly")
 }

@@ -1,0 +1,78 @@
+// Command promlint checks a Prometheus text exposition for format errors:
+// metric/label name syntax, HELP/TYPE placement, duplicate series, and
+// histogram invariants (cumulative buckets, +Inf, _count agreement).
+//
+//	promlint http://127.0.0.1:8471/metrics   fetch and lint (also checks
+//	                                         the Content-Type header)
+//	promlint metrics.txt                     lint a file
+//	promlint -                               lint stdin
+//
+// Exit status 0 when the exposition is clean, 1 when any finding is
+// reported, 2 on usage or I/O errors. CI runs it against a booted p4wnd
+// so /metrics regressions fail the serve-smoke job.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	fs := flag.NewFlagSet("promlint", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: promlint <url | file | ->")
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	data, err := read(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(2)
+	}
+	errs := obs.LintPrometheus(data)
+	for _, e := range errs {
+		fmt.Fprintln(os.Stderr, "promlint:", e)
+	}
+	if len(errs) > 0 {
+		fmt.Fprintf(os.Stderr, "promlint: %d finding(s)\n", len(errs))
+		os.Exit(1)
+	}
+	fmt.Println("promlint: ok")
+}
+
+// read resolves the exposition source: an http(s) URL (which must answer
+// with the Prometheus text content type), "-" for stdin, else a file path.
+func read(src string) ([]byte, error) {
+	if src == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		client := &http.Client{Timeout: 30 * time.Second}
+		resp, err := client.Get(src)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("%s: %s", src, resp.Status)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != obs.PrometheusContentType {
+			return nil, fmt.Errorf("%s: content type %q, want %q", src, ct, obs.PrometheusContentType)
+		}
+		return io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	}
+	return os.ReadFile(src)
+}

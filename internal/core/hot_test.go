@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sym"
+)
+
+// Hot-block visit and fork counts are pure exploration facts, so they must
+// be identical at every worker count; only the solver wall-time column is
+// timing and may differ between runs.
+func TestHotBlockCountsDeterministicAcrossWorkers(t *testing.T) {
+	prog := counterProg(t, 5)
+	run := func(workers int) map[int][2]int64 {
+		prof, err := ProbProf(prog, nil,
+			Options{Seed: 1, MaxIters: 8, DisableSampling: true, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		out := map[int][2]int64{}
+		for _, h := range prof.Stats.Hot {
+			out[h.ID] = [2]int64{h.Visits, h.Forks}
+		}
+		return out
+	}
+	ref := run(1)
+	if len(ref) == 0 {
+		t.Fatal("profile recorded no hot blocks")
+	}
+	for _, w := range []int{3, 8} {
+		got := run(w)
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d hot blocks, want %d", w, len(got), len(ref))
+		}
+		for id, want := range ref {
+			if got[id] != want {
+				t.Errorf("workers=%d block %d: visits/forks %v, want %v", w, id, got[id], want)
+			}
+		}
+	}
+}
+
+// The report ranks hot blocks most-solver-time first with deterministic
+// tiebreaks, 1-based ranks, and labels joined from the profile's nodes.
+func TestHotBlockReportRanking(t *testing.T) {
+	pf := &Profile{
+		Nodes: []NodeProb{{ID: 1, Label: "a"}, {ID: 2, Label: "b"}, {ID: 3, Label: "c"}},
+	}
+	pf.Stats.Hot = []sym.HotBlock{
+		{ID: 1, Visits: 5, Forks: 0, SolverNS: 1000},
+		{ID: 2, Visits: 9, Forks: 2, SolverNS: 2000},
+		{ID: 3, Visits: 9, Forks: 1, SolverNS: 1000}, // ties ID 1 on solver, wins on visits
+	}
+	got := hotBlockReports(pf)
+	if len(got) != 3 {
+		t.Fatalf("got %d reports, want 3", len(got))
+	}
+	wantOrder := []int{2, 3, 1}
+	for i, id := range wantOrder {
+		if got[i].ID != id || got[i].Rank != i+1 {
+			t.Fatalf("rank %d: got block %d (rank %d), want block %d", i+1, got[i].ID, got[i].Rank, id)
+		}
+	}
+	if got[0].Label != "b" || got[0].SolverSec != 2e-6 {
+		t.Fatalf("top block = %+v", got[0])
+	}
+}

@@ -204,6 +204,9 @@ type Stats struct {
 	// Iters is the per-iteration convergence trajectory (always collected;
 	// it is bounded by MaxIters and is what the run report serializes).
 	Iters []obs.IterationRecord
+	// Hot is the engine's per-block exploration cost table (visits, forks,
+	// attributed solver time), the source of the report's hot_blocks section.
+	Hot []sym.HotBlock
 }
 
 // Stages returns per-stage wall seconds under the report's stage names.
@@ -305,6 +308,12 @@ func ProbProf(progIn *ir.Program, oracle dist.Oracle, optIn Options) (*Profile, 
 	reg.RegisterView("solver", solverMetricsView)
 	reg.RegisterView("greybox", greyboxMetricsView)
 
+	// Root span of the run: every stage span and pool batch span below
+	// parents into it through the context, so the exported trace renders the
+	// whole lifecycle as one tree.
+	ctx, rootSpan := tr.StartSpanCtx(ctx, "probprof")
+	defer rootSpan.End()
+
 	// One pool serves every parallel stage of the run (exploration, counting,
 	// telescoping, sampling), so its utilization metrics describe the whole
 	// profile rather than one phase.
@@ -321,10 +330,11 @@ func ProbProf(progIn *ir.Program, oracle dist.Oracle, optIn Options) (*Profile, 
 	dead := map[int]bool{}
 	var stats Stats
 	if !opt.DisablePrune {
-		span := tr.StartSpan("analysis")
+		_, span := tr.StartSpanCtx(ctx, "analysis")
 		anStart := time.Now()
 		dead = analysis.DeadBlocks(progIn)
 		stats.AnalysisTime = time.Since(anStart)
+		span.Annotate(obs.F("dead_blocks", float64(len(dead))))
 		span.End()
 	}
 
@@ -333,10 +343,11 @@ func ProbProf(progIn *ir.Program, oracle dist.Oracle, optIn Options) (*Profile, 
 	// budget so a branchy probe cannot starve the main loop.
 	teleEst := map[int]prob.P{}
 	if !opt.DisableTelescope {
-		span := tr.StartSpan("telescope")
+		teleCtx, span := tr.StartSpanCtx(ctx, "telescope")
 		teleStart := time.Now()
-		teleEst = telescope(ctx, progIn, oracle, opt, pool)
+		teleEst = telescope(teleCtx, progIn, oracle, opt, pool)
 		stats.TelescopeTime = time.Since(teleStart)
+		span.Annotate(obs.F("estimates", float64(len(teleEst))))
 		span.End()
 	}
 	if err := ctx.Err(); err != nil {
@@ -375,8 +386,15 @@ func ProbProf(progIn *ir.Program, oracle dist.Oracle, optIn Options) (*Profile, 
 
 	paths := engine.Initial()
 	var symErr error
+	prevForks, prevMCQ := 0, 0
 	for iter := 0; iter < opt.MaxIters; iter++ {
 		rec := obs.IterationRecord{Iter: iter}
+
+		// Each iteration gets its own span under the run root; the engine and
+		// pool calls below receive the iteration context, so their batch
+		// spans (fanned out across workers) nest inside it.
+		iterCtx, iterSpan := tr.StartSpanCtx(symCtx, "iter")
+		engine.Opts.Ctx = iterCtx
 
 		symStart := time.Now()
 		var nps []*sym.Path
@@ -384,6 +402,7 @@ func ProbProf(progIn *ir.Program, oracle dist.Oracle, optIn Options) (*Profile, 
 		symDur := time.Since(symStart)
 		stats.SymTime += symDur
 		if symErr != nil {
+			iterSpan.End()
 			break
 		}
 		paths = nps
@@ -397,7 +416,7 @@ func ProbProf(progIn *ir.Program, oracle dist.Oracle, optIn Options) (*Profile, 
 		}
 
 		upStart := time.Now()
-		probs, upErr := sym.NodeProbsPool(symCtx, paths, counter, numNodes, pool)
+		probs, upErr := sym.NodeProbsPool(iterCtx, paths, counter, numNodes, pool)
 		upDur := time.Since(upStart)
 		stats.UpdateProbTime += upDur
 		if upErr != nil {
@@ -405,6 +424,7 @@ func ProbProf(progIn *ir.Program, oracle dist.Oracle, optIn Options) (*Profile, 
 			// keep the previous iteration's estimates and hand over to the
 			// sampling phase.
 			symErr = sym.ErrBudget
+			iterSpan.End()
 			break
 		}
 
@@ -419,11 +439,12 @@ func ProbProf(progIn *ir.Program, oracle dist.Oracle, optIn Options) (*Profile, 
 		var mergeDur time.Duration
 		if !opt.DisableMerge {
 			mergeStart := time.Now()
-			merged, mErr := sym.MergePool(symCtx, paths, counter, pool)
+			merged, mErr := sym.MergePool(iterCtx, paths, counter, pool)
 			mergeDur = time.Since(mergeStart)
 			stats.MergeTime += mergeDur
 			if mErr != nil {
 				symErr = sym.ErrBudget
+				iterSpan.End()
 				break
 			}
 			paths = merged
@@ -454,6 +475,18 @@ func ProbProf(progIn *ir.Program, oracle dist.Oracle, optIn Options) (*Profile, 
 		rec.MergeSec = mergeDur.Seconds()
 		stats.Iters = append(stats.Iters, rec)
 		tr.Iteration(rec)
+		// Per-span registry deltas: what this iteration added, not the
+		// cumulative totals the flat metrics carry.
+		iterSpan.Annotate(
+			obs.F("iter", float64(iter)),
+			obs.F("paths", float64(rec.Paths)),
+			obs.F("merged_to", float64(rec.MergedTo)),
+			obs.F("forks_delta", float64(rec.Forks-prevForks)),
+			obs.F("mc_queries_delta", float64(rec.MCQueries-prevMCQ)),
+			obs.F("max_diff", rec.MaxDiff),
+		)
+		iterSpan.End()
+		prevForks, prevMCQ = rec.Forks, rec.MCQueries
 		if reg != nil {
 			reg.SetAll("sym", engine.Stats.Metrics())
 			reg.SetAll("mc", counter.Metrics())
@@ -500,10 +533,11 @@ func ProbProf(progIn *ir.Program, oracle dist.Oracle, optIn Options) (*Profile, 
 	stats.FinalizeTime += time.Since(finStart)
 	sampled := map[int]float64{}
 	if !opt.DisableSampling && (!converged || symErr != nil || unreached > 0) {
-		span := tr.StartSpan("sample")
+		sampCtx, span := tr.StartSpanCtx(ctx, "sample")
 		sampStart := time.Now()
-		sampled = samplePaths(ctx, progIn, oracle, opt, pool)
+		sampled = samplePaths(sampCtx, progIn, oracle, opt, pool)
 		stats.SampleTime = time.Since(sampStart)
+		span.Annotate(obs.F("sampled_nodes", float64(len(sampled))))
 		span.End()
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -551,6 +585,7 @@ func ProbProf(progIn *ir.Program, oracle dist.Oracle, optIn Options) (*Profile, 
 	stats.OracleQueries = oracle.QueryCount()
 	stats.Pool = pool.Metrics()
 	stats.Cache = counter.CacheMetrics()
+	stats.Hot = engine.Hot.Snapshot()
 
 	pf := &Profile{
 		Program:   progIn.Name,

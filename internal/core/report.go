@@ -1,9 +1,12 @@
 package core
 
 import (
+	"sort"
+
 	"repro/internal/greybox"
 	"repro/internal/obs"
 	"repro/internal/solver"
+	"repro/internal/sym"
 )
 
 // NewReport converts a finished profile into the versioned run report
@@ -38,5 +41,41 @@ func NewReport(pf *Profile, opt Options) *obs.Report {
 			Source: n.Source.String(),
 		})
 	}
+	r.HotBlocks = hotBlockReports(pf)
 	return r
+}
+
+// hotBlockReports converts the engine's per-block cost table into the
+// report's ranked hot-block section: most solver time first, visits as the
+// tie breaker, block ID as the final deterministic tiebreak.
+func hotBlockReports(pf *Profile) []obs.HotBlockReport {
+	if len(pf.Stats.Hot) == 0 {
+		return nil
+	}
+	labels := make(map[int]string, len(pf.Nodes))
+	for _, n := range pf.Nodes {
+		labels[n.ID] = n.Label
+	}
+	hot := append([]sym.HotBlock(nil), pf.Stats.Hot...)
+	sort.SliceStable(hot, func(i, j int) bool {
+		if hot[i].SolverNS != hot[j].SolverNS {
+			return hot[i].SolverNS > hot[j].SolverNS
+		}
+		if hot[i].Visits != hot[j].Visits {
+			return hot[i].Visits > hot[j].Visits
+		}
+		return hot[i].ID < hot[j].ID
+	})
+	out := make([]obs.HotBlockReport, len(hot))
+	for i, h := range hot {
+		out[i] = obs.HotBlockReport{
+			Rank:      i + 1,
+			ID:        h.ID,
+			Label:     labels[h.ID],
+			Visits:    h.Visits,
+			Forks:     h.Forks,
+			SolverSec: float64(h.SolverNS) / 1e9,
+		}
+	}
+	return out
 }

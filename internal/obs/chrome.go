@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// ChromeEvent is one entry of the Chrome trace_event JSON format (the
+// subset Perfetto and chrome://tracing consume): "X" complete events carry
+// a start timestamp and duration in microseconds; "M" metadata events name
+// the process and threads.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds since trace start
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level object form of the format.
+type chromeTrace struct {
+	TraceEvents     []ChromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// ChromeTrace converts the recorded span tree into trace_event entries.
+// Spans are grouped onto virtual threads by their root ancestor: every
+// top-level span (a job lifecycle stage, a profiler phase) gets its own
+// track, and its descendants — including pool batch spans fanned out by
+// par workers — nest under it. Events are sorted by start time then span
+// ID, so the output is deterministic for a fixed clock.
+func (t *Tracer) ChromeTrace() []ChromeEvent {
+	recs := t.Spans()
+	if len(recs) == 0 {
+		return nil
+	}
+	sort.SliceStable(recs, func(i, j int) bool {
+		if recs[i].Start != recs[j].Start {
+			return recs[i].Start < recs[j].Start
+		}
+		return recs[i].ID < recs[j].ID
+	})
+
+	parent := make(map[uint64]uint64, len(recs))
+	for _, r := range recs {
+		parent[r.ID] = r.Parent
+	}
+	rootOf := func(id uint64) uint64 {
+		for {
+			p, ok := parent[id]
+			if !ok || p == 0 {
+				return id
+			}
+			id = p
+		}
+	}
+
+	events := []ChromeEvent{{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 0,
+		Args: map[string]any{"name": "p4wn"},
+	}}
+
+	seenTid := map[uint64]bool{}
+	for _, r := range recs {
+		tid := rootOf(r.ID)
+		if !seenTid[tid] {
+			seenTid[tid] = true
+			name := r.Name
+			for _, rr := range recs {
+				if rr.ID == tid {
+					name = rr.Name
+					break
+				}
+			}
+			events = append(events, ChromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+				Args: map[string]any{"name": name},
+			})
+		}
+		dur := float64(r.Dur.Microseconds())
+		ev := ChromeEvent{
+			Name: r.Name,
+			Ph:   "X",
+			Ts:   float64(r.Start.Microseconds()),
+			Dur:  &dur,
+			Pid:  1,
+			Tid:  tid,
+		}
+		if len(r.Attrs) > 0 || r.Open {
+			ev.Args = map[string]any{}
+			for _, a := range r.Attrs {
+				ev.Args[a.Key] = a.Val
+			}
+			if r.Open {
+				ev.Args["open"] = true
+			}
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+// WriteChromeTrace serializes the span tree as Chrome trace_event JSON
+// (object form, ready for chrome://tracing or ui.perfetto.dev). Returns an
+// error only from the writer; a nil or empty tracer writes an empty trace.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	tr := chromeTrace{
+		TraceEvents:     t.ChromeTrace(),
+		DisplayTimeUnit: "ms",
+	}
+	if tr.TraceEvents == nil {
+		tr.TraceEvents = []ChromeEvent{}
+	}
+	if id := t.TraceID(); id != "" {
+		tr.OtherData = map[string]any{"trace_id": id}
+	}
+	data, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

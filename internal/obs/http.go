@@ -2,7 +2,6 @@ package obs
 
 import (
 	"expvar"
-	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -14,7 +13,7 @@ import (
 
 // Mount registers the observability handlers on an existing mux:
 //
-//	/metrics       the registry snapshot as sorted "name value" lines
+//	/metrics       Prometheus text exposition (version 0.0.4)
 //	/debug/vars    expvar (including the registry via PublishExpvar)
 //	/debug/pprof/  the standard pprof handlers
 //
@@ -23,8 +22,8 @@ import (
 func Mount(mux *http.ServeMux, reg *Registry) {
 	reg.PublishExpvar()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, reg.Render())
+		w.Header().Set("Content-Type", PrometheusContentType)
+		reg.WritePrometheus(w)
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

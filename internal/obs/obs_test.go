@@ -186,8 +186,8 @@ func TestHistogramQuantiles(t *testing.T) {
 }
 
 // goldenReport is a fixed report exercising every schema field; the golden
-// file locks the v3 JSON shape (key names, nesting, clamping, the job
-// metadata block, the ifc leak summary).
+// file locks the v4 JSON shape (key names, nesting, clamping, the job
+// metadata block with trace_id, the ifc leak summary, the hot-block table).
 func goldenReport() *Report {
 	return &Report{
 		SchemaVersion: SchemaVersion,
@@ -196,6 +196,7 @@ func goldenReport() *Report {
 		Options:       map[string]any{"max_iters": 8, "seed": 1},
 		Job: &JobMeta{
 			ID:          "9c2f4e8a1b3d5c7e9c2f4e8a1b3d5c7e9c2f4e8a1b3d5c7e9c2f4e8a1b3d5c7e",
+			TraceID:     "9c2f4e8a1b3d5c7e",
 			Kind:        "profile",
 			Priority:    2,
 			SubmittedAt: "2026-01-02T03:04:05.000000006Z",
@@ -235,6 +236,10 @@ func goldenReport() *Report {
 			MaxP:      0.00390625,
 			MaxLog10P: -2.408239965311849,
 		},
+		HotBlocks: []HotBlockReport{
+			{Rank: 1, ID: 1, Label: "tcp", Visits: 40, Forks: 19, SolverSec: 0.125},
+			{Rank: 2, ID: 3, Label: "tcp_sample", Visits: 12, Forks: 0, SolverSec: 0.004},
+		},
 		Metrics: map[string]float64{"core.iterations": 2, "sym.forks": 30},
 	}
 }
@@ -245,7 +250,7 @@ func TestReportGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	data = append(data, '\n')
-	golden := filepath.Join("testdata", "report_v3.json")
+	golden := filepath.Join("testdata", "report_v4.json")
 	if os.Getenv("UPDATE_GOLDEN") != "" {
 		if err := os.WriteFile(golden, data, 0o644); err != nil {
 			t.Fatal(err)
@@ -282,11 +287,18 @@ func TestReportGolden(t *testing.T) {
 	if back.IFC.Leaks[1].Log10P != minLog10 {
 		t.Fatalf("leak -Inf should clamp to %g, got %g", minLog10, back.IFC.Leaks[1].Log10P)
 	}
+	if back.Job.TraceID != "9c2f4e8a1b3d5c7e" {
+		t.Fatalf("trace_id round-trip: %+v", back.Job)
+	}
+	if len(back.HotBlocks) != 2 || back.HotBlocks[0].Label != "tcp" || back.HotBlocks[0].Visits != 40 {
+		t.Fatalf("hot_blocks round-trip: %+v", back.HotBlocks)
+	}
 	// Offline reports must omit the job block entirely, and policy-free
 	// programs the ifc block.
 	plain := goldenReport()
 	plain.Job = nil
 	plain.IFC = nil
+	plain.HotBlocks = nil
 	data, err = json.Marshal(plain)
 	if err != nil {
 		t.Fatal(err)
@@ -296,6 +308,9 @@ func TestReportGolden(t *testing.T) {
 	}
 	if bytes.Contains(data, []byte(`"ifc"`)) {
 		t.Fatalf("nil IFC must not serialize: %s", data)
+	}
+	if bytes.Contains(data, []byte(`"hot_blocks"`)) {
+		t.Fatalf("empty HotBlocks must not serialize: %s", data)
 	}
 }
 

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"compress/gzip"
+	"io"
+)
+
+// WriteHotBlockPprof serializes a hot-block table as a gzipped
+// pprof-compatible profile (`go tool pprof` opens it): one synthetic
+// location per CFG block, named by its label, with three sample values per
+// block — exploration visits, engine forks, and attributed solver
+// nanoseconds. The encoding is hand-rolled protobuf against pprof's
+// profile.proto, so the repo stays dependency-free.
+func WriteHotBlockPprof(w io.Writer, program string, blocks []HotBlockReport) error {
+	// String table: index 0 must be "".
+	strs := []string{""}
+	strIdx := map[string]int64{"": 0}
+	intern := func(s string) int64 {
+		if i, ok := strIdx[s]; ok {
+			return i
+		}
+		i := int64(len(strs))
+		strs = append(strs, s)
+		strIdx[s] = i
+		return i
+	}
+
+	type valueType struct{ typ, unit int64 }
+	sampleTypes := []valueType{
+		{intern("visits"), intern("count")},
+		{intern("forks"), intern("count")},
+		{intern("solver"), intern("nanoseconds")},
+	}
+	fileIdx := intern(program)
+
+	var profile []byte
+
+	// sample_type: repeated ValueType, field 1.
+	for _, st := range sampleTypes {
+		var vt []byte
+		vt = appendVarintField(vt, 1, st.typ)
+		vt = appendVarintField(vt, 2, st.unit)
+		profile = appendBytesField(profile, 1, vt)
+	}
+
+	// One Function + Location per block; Sample references the location.
+	for i, blk := range blocks {
+		id := uint64(i + 1)
+
+		var fn []byte // Function: id=1, name=2, system_name=3, filename=4
+		fn = appendVarintField(fn, 1, int64(id))
+		fn = appendVarintField(fn, 2, intern(blk.Label))
+		fn = appendVarintField(fn, 4, fileIdx)
+
+		var line []byte // Line: function_id=1, line=2
+		line = appendVarintField(line, 1, int64(id))
+		line = appendVarintField(line, 2, int64(blk.ID))
+
+		var loc []byte // Location: id=1, line=4
+		loc = appendVarintField(loc, 1, int64(id))
+		loc = appendBytesField(loc, 4, line)
+
+		var sample []byte // Sample: location_id=1 (packed), value=2 (packed)
+		sample = appendPackedVarints(sample, 1, []int64{int64(id)})
+		sample = appendPackedVarints(sample, 2, []int64{
+			blk.Visits, blk.Forks, int64(blk.SolverSec * 1e9),
+		})
+
+		profile = appendBytesField(profile, 2, sample) // Profile.sample
+		profile = appendBytesField(profile, 4, loc)    // Profile.location
+		profile = appendBytesField(profile, 5, fn)     // Profile.function
+	}
+
+	// string_table: repeated string, field 6. Appended last because intern
+	// ran while building the messages above.
+	for _, s := range strs {
+		profile = appendBytesField(profile, 6, []byte(s))
+	}
+
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(profile); err != nil {
+		gz.Close()
+		return err
+	}
+	return gz.Close()
+}
+
+// appendVarint appends v in protobuf base-128 varint encoding.
+func appendVarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+// appendVarintField appends a (field, wire type 0) key and varint value.
+func appendVarintField(b []byte, field int, v int64) []byte {
+	b = appendVarint(b, uint64(field)<<3|0)
+	return appendVarint(b, uint64(v))
+}
+
+// appendBytesField appends a (field, wire type 2) key and length-delimited
+// payload.
+func appendBytesField(b []byte, field int, payload []byte) []byte {
+	b = appendVarint(b, uint64(field)<<3|2)
+	b = appendVarint(b, uint64(len(payload)))
+	return append(b, payload...)
+}
+
+// appendPackedVarints appends a packed repeated varint field.
+func appendPackedVarints(b []byte, field int, vals []int64) []byte {
+	var payload []byte
+	for _, v := range vals {
+		payload = appendVarint(payload, uint64(v))
+	}
+	return appendBytesField(b, field, payload)
+}

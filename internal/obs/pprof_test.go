@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"testing"
+)
+
+// decodeVarints walks an uncompressed profile.proto message and collects
+// the string table (field 6 of Profile) — enough structure to prove the
+// hand-rolled encoder emits well-formed protobuf without a proto library.
+func profileStrings(t *testing.T, msg []byte) []string {
+	t.Helper()
+	var strs []string
+	for i := 0; i < len(msg); {
+		key, n := uvarint(msg[i:])
+		if n <= 0 {
+			t.Fatalf("bad varint key at offset %d", i)
+		}
+		i += n
+		field, wire := key>>3, key&7
+		switch wire {
+		case 0: // varint
+			_, n := uvarint(msg[i:])
+			if n <= 0 {
+				t.Fatalf("bad varint value at offset %d", i)
+			}
+			i += n
+		case 2: // length-delimited
+			l, n := uvarint(msg[i:])
+			if n <= 0 || i+n+int(l) > len(msg) {
+				t.Fatalf("bad length at offset %d", i)
+			}
+			i += n
+			if field == 6 {
+				strs = append(strs, string(msg[i:i+int(l)]))
+			}
+			i += int(l)
+		default:
+			t.Fatalf("unexpected wire type %d for field %d", wire, field)
+		}
+	}
+	return strs
+}
+
+func uvarint(b []byte) (uint64, int) {
+	var v uint64
+	for i := 0; i < len(b) && i < 10; i++ {
+		v |= uint64(b[i]&0x7f) << (7 * i)
+		if b[i]&0x80 == 0 {
+			return v, i + 1
+		}
+	}
+	return 0, 0
+}
+
+func TestWriteHotBlockPprof(t *testing.T) {
+	blocks := []HotBlockReport{
+		{Rank: 1, ID: 2, Label: "tcp", Visits: 40, Forks: 19, SolverSec: 0.125},
+		{Rank: 2, ID: 5, Label: "tcp_sample", Visits: 12, Forks: 0, SolverSec: 0.004},
+	}
+	var buf bytes.Buffer
+	if err := WriteHotBlockPprof(&buf, "syn_guard", blocks); err != nil {
+		t.Fatal(err)
+	}
+
+	// pprof files are gzip-wrapped protobuf.
+	zr, err := gzip.NewReader(&buf)
+	if err != nil {
+		t.Fatalf("output is not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := zr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	strs := profileStrings(t, raw)
+	if len(strs) == 0 || strs[0] != "" {
+		t.Fatalf("string table must start with the empty string, got %q", strs)
+	}
+	want := map[string]bool{
+		"visits": false, "forks": false, "solver": false,
+		"count": false, "nanoseconds": false,
+		"tcp": false, "tcp_sample": false, "syn_guard": false,
+	}
+	for _, s := range strs {
+		if _, ok := want[s]; ok {
+			want[s] = true
+		}
+	}
+	for s, seen := range want {
+		if !seen {
+			t.Errorf("string table missing %q (have %q)", s, strs)
+		}
+	}
+}
+
+func TestWriteHotBlockPprofEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHotBlockPprof(&buf, "p", nil); err != nil {
+		t.Fatal(err)
+	}
+	zr, err := gzip.NewReader(&buf)
+	if err != nil {
+		t.Fatalf("empty profile is not gzip: %v", err)
+	}
+	if _, err := io.ReadAll(zr); err != nil {
+		t.Fatal(err)
+	}
+}

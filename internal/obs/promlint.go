@@ -1,0 +1,383 @@
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintPrometheus validates a Prometheus text-format (version 0.0.4)
+// exposition and returns every conformance problem found. It checks line
+// syntax, metric and label name charsets, HELP/TYPE placement and
+// uniqueness, duplicate series, and histogram invariants (le label
+// present, +Inf bucket, monotone cumulative buckets, _count consistent
+// with the +Inf bucket). An empty slice means the payload conforms.
+//
+// This is the checker behind cmd/promlint, which CI points at a booted
+// p4wnd's /metrics endpoint.
+func LintPrometheus(data []byte) []error {
+	l := &promLinter{
+		types:  map[string]string{},
+		helped: map[string]bool{},
+		series: map[string]int{},
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		l.lineNo = i + 1
+		l.checkLine(line)
+	}
+	l.checkHistograms()
+	return l.errs
+}
+
+var (
+	promNameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+type promSeries struct {
+	name   string
+	labels map[string]string
+	value  float64
+	lineNo int
+}
+
+type promLinter struct {
+	lineNo int
+	errs   []error
+	types  map[string]string // family -> declared type
+	helped map[string]bool
+	series map[string]int // rendered series key -> first line
+	seen   []promSeries
+	sawFor map[string]bool // families with at least one sample
+}
+
+func (l *promLinter) errf(format string, args ...any) {
+	l.errs = append(l.errs, fmt.Errorf("line %d: %s", l.lineNo, fmt.Sprintf(format, args...)))
+}
+
+func (l *promLinter) checkLine(line string) {
+	if strings.TrimSpace(line) == "" {
+		return
+	}
+	if strings.HasPrefix(line, "#") {
+		l.checkComment(line)
+		return
+	}
+	l.checkSample(line)
+}
+
+func (l *promLinter) checkComment(line string) {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return // bare comment, allowed
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 {
+			l.errf("HELP without metric name")
+			return
+		}
+		name := fields[2]
+		if !promNameRe.MatchString(name) {
+			l.errf("HELP for invalid metric name %q", name)
+		}
+		if l.helped[name] {
+			l.errf("duplicate HELP for %q", name)
+		}
+		l.helped[name] = true
+	case "TYPE":
+		if len(fields) < 4 {
+			l.errf("TYPE needs a metric name and a type")
+			return
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		if !promNameRe.MatchString(name) {
+			l.errf("TYPE for invalid metric name %q", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			l.errf("unknown metric type %q for %q", typ, name)
+		}
+		if _, dup := l.types[name]; dup {
+			l.errf("duplicate TYPE for %q", name)
+		}
+		if l.sawFor[name] {
+			l.errf("TYPE for %q after its samples", name)
+		}
+		l.types[name] = typ
+	}
+	// other comments are free-form
+}
+
+func (l *promLinter) checkSample(line string) {
+	name, rest := splitSampleName(line)
+	if name == "" {
+		l.errf("cannot parse sample %q", line)
+		return
+	}
+	if !promNameRe.MatchString(name) {
+		l.errf("invalid metric name %q", name)
+		return
+	}
+	labels, rest, ok := parseSampleLabels(rest)
+	if !ok {
+		l.errf("malformed labels in %q", line)
+		return
+	}
+	for k := range labels {
+		if !promLabelRe.MatchString(k) {
+			l.errf("invalid label name %q in %q", k, name)
+		}
+	}
+	parts := strings.Fields(rest)
+	if len(parts) < 1 || len(parts) > 2 {
+		l.errf("expected value [timestamp] after %q, got %q", name, rest)
+		return
+	}
+	val, err := strconv.ParseFloat(parts[0], 64)
+	if err != nil {
+		l.errf("unparseable value %q for %q", parts[0], name)
+		return
+	}
+	if len(parts) == 2 {
+		if _, err := strconv.ParseInt(parts[1], 10, 64); err != nil {
+			l.errf("unparseable timestamp %q for %q", parts[1], name)
+		}
+	}
+
+	key := seriesKey(name, labels)
+	if first, dup := l.series[key]; dup {
+		l.errf("duplicate series %s (first at line %d)", key, first)
+	} else {
+		l.series[key] = l.lineNo
+	}
+	if l.sawFor == nil {
+		l.sawFor = map[string]bool{}
+	}
+	l.sawFor[familyOf(name, l.types)] = true
+	l.seen = append(l.seen, promSeries{name: name, labels: labels, value: val, lineNo: l.lineNo})
+}
+
+// familyOf maps a sample name to its family: histogram/summary samples
+// carry _bucket/_sum/_count suffixes on the declared family name.
+func familyOf(name string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if t, ok := types[base]; ok && (t == "histogram" || t == "summary") {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// splitSampleName peels the metric name off the front of a sample line.
+func splitSampleName(line string) (name, rest string) {
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if c == '{' || c == ' ' || c == '\t' {
+			return line[:i], line[i:]
+		}
+	}
+	return line, ""
+}
+
+// parseSampleLabels parses an optional {k="v",...} block, returning the
+// labels and the remainder of the line.
+func parseSampleLabels(s string) (map[string]string, string, bool) {
+	if !strings.HasPrefix(s, "{") {
+		return nil, s, true
+	}
+	end := -1
+	inQuote := false
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if s[i-1] != '\\' {
+				inQuote = !inQuote
+			}
+		case '}':
+			if !inQuote {
+				end = i
+			}
+		}
+		if end >= 0 {
+			break
+		}
+	}
+	if end < 0 {
+		return nil, "", false
+	}
+	labels := map[string]string{}
+	for _, pair := range splitLabelPairs(s[1:end]) {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		eq := strings.Index(pair, "=")
+		if eq < 0 {
+			return nil, "", false
+		}
+		k := strings.TrimSpace(pair[:eq])
+		v := strings.TrimSpace(pair[eq+1:])
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return nil, "", false
+		}
+		unq, err := unquoteLabelValue(v[1 : len(v)-1])
+		if err != nil {
+			return nil, "", false
+		}
+		labels[k] = unq
+	}
+	return labels, s[end+1:], true
+}
+
+func unquoteLabelValue(s string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", fmt.Errorf("trailing backslash")
+		}
+		switch s[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case '"':
+			b.WriteByte('"')
+		case 'n':
+			b.WriteByte('\n')
+		default:
+			return "", fmt.Errorf("bad escape \\%c", s[i])
+		}
+	}
+	return b.String(), nil
+}
+
+func seriesKey(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// checkHistograms verifies per-family histogram invariants across all
+// collected samples.
+func (l *promLinter) checkHistograms() {
+	for fam, typ := range l.types {
+		if typ != "histogram" {
+			continue
+		}
+		// Group bucket samples by their label set minus le.
+		type group struct {
+			buckets  []promSeries
+			count    *promSeries
+			inf      *promSeries
+			anything bool
+		}
+		groups := map[string]*group{}
+		get := func(labels map[string]string) *group {
+			sub := map[string]string{}
+			for k, v := range labels {
+				if k != "le" {
+					sub[k] = v
+				}
+			}
+			key := seriesKey(fam, sub)
+			g := groups[key]
+			if g == nil {
+				g = &group{}
+				groups[key] = g
+			}
+			return g
+		}
+		for i := range l.seen {
+			s := l.seen[i]
+			switch s.name {
+			case fam + "_bucket":
+				g := get(s.labels)
+				g.anything = true
+				if le, ok := s.labels["le"]; !ok {
+					l.errs = append(l.errs, fmt.Errorf("line %d: %s_bucket without le label", s.lineNo, fam))
+				} else if le == "+Inf" {
+					g.inf = &l.seen[i]
+				}
+				g.buckets = append(g.buckets, s)
+			case fam + "_count":
+				g := get(s.labels)
+				g.anything = true
+				g.count = &l.seen[i]
+			case fam + "_sum":
+				get(s.labels).anything = true
+			}
+		}
+		for key, g := range groups {
+			if !g.anything {
+				continue
+			}
+			if g.inf == nil {
+				l.errs = append(l.errs, fmt.Errorf("histogram %s: missing +Inf bucket", key))
+			}
+			if g.count == nil {
+				l.errs = append(l.errs, fmt.Errorf("histogram %s: missing _count", key))
+			}
+			if g.inf != nil && g.count != nil && g.inf.value != g.count.value {
+				l.errs = append(l.errs, fmt.Errorf("histogram %s: _count %g != +Inf bucket %g",
+					key, g.count.value, g.inf.value))
+			}
+			// Buckets must be cumulative: sort by le and check monotonicity.
+			type bkt struct {
+				le float64
+				v  float64
+			}
+			var bkts []bkt
+			for _, s := range g.buckets {
+				le := s.labels["le"]
+				if le == "" || le == "+Inf" {
+					continue
+				}
+				f, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					l.errs = append(l.errs, fmt.Errorf("line %d: unparseable le %q", s.lineNo, le))
+					continue
+				}
+				bkts = append(bkts, bkt{f, s.value})
+			}
+			sort.Slice(bkts, func(i, j int) bool { return bkts[i].le < bkts[j].le })
+			for i := 1; i < len(bkts); i++ {
+				if bkts[i].v < bkts[i-1].v {
+					l.errs = append(l.errs, fmt.Errorf(
+						"histogram %s: bucket le=%g count %g < previous bucket %g",
+						key, bkts[i].le, bkts[i].v, bkts[i-1].v))
+				}
+			}
+			if g.inf != nil && len(bkts) > 0 && g.inf.value < bkts[len(bkts)-1].v {
+				l.errs = append(l.errs, fmt.Errorf(
+					"histogram %s: +Inf bucket %g < largest finite bucket %g",
+					key, g.inf.value, bkts[len(bkts)-1].v))
+			}
+		}
+	}
+}

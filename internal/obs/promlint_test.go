@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLintPrometheus(t *testing.T) {
+	cases := []struct {
+		name    string
+		input   string
+		wantErr string // substring of some reported error; "" = clean
+	}{
+		{
+			name:  "clean counter with help and type",
+			input: "# HELP a_total Things.\n# TYPE a_total counter\na_total 3\n",
+		},
+		{
+			name:  "clean labeled samples",
+			input: "# TYPE jobs counter\njobs{outcome=\"done\"} 2\njobs{outcome=\"failed\"} 1\n",
+		},
+		{
+			name:  "clean untyped sample",
+			input: "up 1\n",
+		},
+		{
+			name:    "bad metric name",
+			input:   "9lives 1\n",
+			wantErr: "invalid metric name",
+		},
+		{
+			name:    "bad label name",
+			input:   "a{9bad=\"x\"} 1\n",
+			wantErr: "invalid label name",
+		},
+		{
+			name:    "unparseable value",
+			input:   "a one\n",
+			wantErr: "unparseable value",
+		},
+		{
+			name:    "duplicate series",
+			input:   "a{l=\"x\"} 1\na{l=\"x\"} 2\n",
+			wantErr: "duplicate series",
+		},
+		{
+			name:    "duplicate TYPE",
+			input:   "# TYPE a counter\n# TYPE a counter\na 1\n",
+			wantErr: "duplicate TYPE",
+		},
+		{
+			name:    "TYPE after samples",
+			input:   "a 1\n# TYPE a counter\n",
+			wantErr: "TYPE",
+		},
+		{
+			name:    "unknown type keyword",
+			input:   "# TYPE a enum\na 1\n",
+			wantErr: "type",
+		},
+		{
+			name:    "unterminated label block",
+			input:   "a{l=\"x\" 1\n",
+			wantErr: "label",
+		},
+		{
+			name: "clean histogram",
+			input: "# TYPE h histogram\n" +
+				"h_bucket{le=\"0.1\"} 1\n" +
+				"h_bucket{le=\"1\"} 2\n" +
+				"h_bucket{le=\"+Inf\"} 3\n" +
+				"h_sum 1.5\n" +
+				"h_count 3\n",
+		},
+		{
+			name: "histogram missing +Inf bucket",
+			input: "# TYPE h histogram\n" +
+				"h_bucket{le=\"0.1\"} 1\n" +
+				"h_sum 0.05\n" +
+				"h_count 1\n",
+			wantErr: "+Inf",
+		},
+		{
+			name: "histogram count disagrees with +Inf",
+			input: "# TYPE h histogram\n" +
+				"h_bucket{le=\"+Inf\"} 3\n" +
+				"h_sum 1\n" +
+				"h_count 2\n",
+			wantErr: "count",
+		},
+		{
+			name: "histogram buckets not cumulative",
+			input: "# TYPE h histogram\n" +
+				"h_bucket{le=\"0.1\"} 5\n" +
+				"h_bucket{le=\"1\"} 2\n" +
+				"h_bucket{le=\"+Inf\"} 5\n" +
+				"h_sum 1\n" +
+				"h_count 5\n",
+			wantErr: "previous bucket",
+		},
+		{
+			name:  "escaped label values",
+			input: "a{l=\"line\\nbreak \\\"quoted\\\" back\\\\slash\"} 1\n",
+		},
+		{
+			name:  "comments and blank lines ignored",
+			input: "\n# just a comment\n\na 1\n",
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := LintPrometheus([]byte(tc.input))
+			if tc.wantErr == "" {
+				if len(errs) != 0 {
+					t.Fatalf("want clean, got %v", errs)
+				}
+				return
+			}
+			for _, e := range errs {
+				if strings.Contains(strings.ToLower(e.Error()), strings.ToLower(tc.wantErr)) {
+					return
+				}
+			}
+			t.Fatalf("no error mentioning %q in %v", tc.wantErr, errs)
+		})
+	}
+}

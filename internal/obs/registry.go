@@ -67,10 +67,11 @@ var histBounds = func() []float64 {
 // sized for latency-style data (microseconds to minutes) but accepts any
 // non-negative value.
 type Histogram struct {
-	mu      sync.Mutex
-	count   int64
-	sum     float64
-	buckets []int64 // len(histBounds)+1, allocated on first observation
+	mu       sync.Mutex
+	count    int64
+	sum      float64
+	min, max float64
+	buckets  []int64 // len(histBounds)+1, allocated on first observation
 }
 
 // Observe records one value.
@@ -83,13 +84,23 @@ func (h *Histogram) Observe(v float64) {
 	if h.buckets == nil {
 		h.buckets = make([]int64, len(histBounds)+1)
 	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
 	h.count++
 	h.sum += v
 	h.buckets[idx]++
 	h.mu.Unlock()
 }
 
-// Summary returns count, sum, and approximate p50/p99 (bucket upper bounds).
+// Summary returns count, sum, and approximate p50/p99. Quantiles are bucket
+// upper bounds clamped to the observed [min, max] range, so they are always
+// finite and defined: an empty histogram reports 0, a single observation
+// reports that exact value, and values past the last bucket bound report
+// the observed maximum rather than +Inf.
 func (h *Histogram) Summary() (count int64, sum, p50, p99 float64) {
 	if h == nil {
 		return 0, 0, 0, 0
@@ -106,18 +117,45 @@ func (h *Histogram) quantileLocked(q float64) float64 {
 	if h.count == 0 {
 		return 0
 	}
+	if h.count == 1 {
+		return h.max
+	}
+	est := h.max
 	target := int64(math.Ceil(q * float64(h.count)))
 	var seen int64
 	for i, n := range h.buckets {
 		seen += n
 		if seen >= target {
 			if i < len(histBounds) {
-				return histBounds[i]
+				est = histBounds[i]
 			}
-			return math.Inf(1)
+			break
 		}
 	}
-	return math.Inf(1)
+	// Clamp the bucket bound to the observed range: the estimate must never
+	// exceed the largest value actually seen (or undercut the smallest).
+	return math.Min(math.Max(est, h.min), h.max)
+}
+
+// Buckets returns the histogram's bucket upper bounds and the cumulative
+// count at or below each bound, plus the total count as the final entry
+// (the "+Inf" bucket) — the shape Prometheus exposition needs.
+func (h *Histogram) Buckets() (bounds []float64, cumulative []int64) {
+	bounds = append([]float64(nil), histBounds...)
+	cumulative = make([]int64, len(histBounds)+1)
+	if h == nil {
+		return bounds, cumulative
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var run int64
+	for i := range cumulative {
+		if h.buckets != nil {
+			run += h.buckets[i]
+		}
+		cumulative[i] = run
+	}
+	return bounds, cumulative
 }
 
 // ViewFunc snapshots an external stats source into a flat name->value map.
@@ -134,6 +172,7 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	views    map[string]ViewFunc
+	help     map[string]string
 }
 
 // NewRegistry builds an empty registry.
@@ -143,7 +182,19 @@ func NewRegistry() *Registry {
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
 		views:    map[string]ViewFunc{},
+		help:     map[string]string{},
 	}
+}
+
+// SetHelp attaches a HELP string to a metric name (the pre-sanitization
+// base name, without any {label} suffix); WritePrometheus emits it.
+func (r *Registry) SetHelp(name, text string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.help[name] = text
+	r.mu.Unlock()
 }
 
 // Counter returns the named counter, creating it on first use. Nil-safe:
@@ -218,9 +269,12 @@ func (r *Registry) SetAll(prefix string, vals map[string]float64) {
 	}
 }
 
-// Snapshot flattens the registry into a single sorted-key map: counters and
-// gauges by name, histograms as .count/.sum/.p50/.p99, and each view's keys
-// under its prefix.
+// Snapshot flattens the registry into a single map: counters and gauges by
+// name, histograms as .count/.sum/.p50/.p99, and each view's keys under its
+// prefix. Entries are applied in a fixed layering — counters, then gauges,
+// then histograms, then views in sorted name order — so when names collide
+// (a SetAll gauge shadowing a live view, say) the winner is deterministic:
+// later layers and later-sorted names overwrite earlier ones.
 func (r *Registry) Snapshot() map[string]float64 {
 	if r == nil {
 		return map[string]float64{}
@@ -245,25 +299,36 @@ func (r *Registry) Snapshot() map[string]float64 {
 	r.mu.RUnlock()
 
 	out := map[string]float64{}
-	for k, c := range counters {
-		out[k] = float64(c.Value())
+	for _, k := range sortedKeys(counters) {
+		out[k] = float64(counters[k].Value())
 	}
-	for k, g := range gauges {
-		out[k] = g.Value()
+	for _, k := range sortedKeys(gauges) {
+		out[k] = gauges[k].Value()
 	}
-	for k, h := range hists {
-		count, sum, p50, p99 := h.Summary()
+	for _, k := range sortedKeys(hists) {
+		count, sum, p50, p99 := hists[k].Summary()
 		out[k+".count"] = float64(count)
 		out[k+".sum"] = sum
 		out[k+".p50"] = p50
 		out[k+".p99"] = p99
 	}
-	for name, view := range views {
-		for k, v := range view() {
-			out[name+"."+k] = v
+	for _, name := range sortedKeys(views) {
+		vals := views[name]()
+		for _, k := range sortedKeys(vals) {
+			out[name+"."+k] = vals[k]
 		}
 	}
 	return out
+}
+
+// sortedKeys returns the map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Render returns the snapshot as sorted "name value" lines (the /metrics

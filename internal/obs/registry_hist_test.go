@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Quantiles must be defined and finite at every sample count: 0 samples
+// report 0, 1 sample reports that value exactly, and estimates never leave
+// the observed [min, max] range (in particular never +Inf past the last
+// bucket bound).
+func TestHistogramSummaryEdgeCases(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		var h Histogram
+		count, sum, p50, p99 := h.Summary()
+		if count != 0 || sum != 0 || p50 != 0 || p99 != 0 {
+			t.Fatalf("empty histogram: count=%d sum=%g p50=%g p99=%g, want all 0",
+				count, sum, p50, p99)
+		}
+	})
+	t.Run("single sample", func(t *testing.T) {
+		var h Histogram
+		h.Observe(0.0042)
+		count, sum, p50, p99 := h.Summary()
+		if count != 1 || sum != 0.0042 {
+			t.Fatalf("count=%d sum=%g", count, sum)
+		}
+		if p50 != 0.0042 || p99 != 0.0042 {
+			t.Fatalf("single-sample quantiles p50=%g p99=%g, want both 0.0042", p50, p99)
+		}
+	})
+	t.Run("overflow bucket clamps to max", func(t *testing.T) {
+		var h Histogram
+		h.Observe(500) // past the last bound (~500s decade ends at 500)
+		h.Observe(9000)
+		_, _, p50, p99 := h.Summary()
+		if p50 > 9000 || p99 > 9000 {
+			t.Fatalf("quantile escaped the observed max: p50=%g p99=%g", p50, p99)
+		}
+		if p99 != 9000 {
+			t.Fatalf("p99=%g, want the observed max 9000", p99)
+		}
+	})
+	t.Run("quantile within observed range", func(t *testing.T) {
+		var h Histogram
+		for i := 0; i < 100; i++ {
+			h.Observe(0.010)
+		}
+		h.Observe(3.5)
+		_, _, p50, p99 := h.Summary()
+		if p50 < 0.010 || p50 > 3.5 {
+			t.Fatalf("p50=%g outside observed [0.010, 3.5]", p50)
+		}
+		if p99 < p50 {
+			t.Fatalf("p99=%g < p50=%g", p99, p50)
+		}
+	})
+	t.Run("nil histogram", func(t *testing.T) {
+		var h *Histogram
+		h.Observe(1) // must not panic
+		if c, s, a, b := h.Summary(); c != 0 || s != 0 || a != 0 || b != 0 {
+			t.Fatal("nil histogram summary not zero")
+		}
+	})
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	var h Histogram
+	h.Observe(0.0015) // le=0.002 bucket
+	h.Observe(0.0015)
+	h.Observe(0.04) // le=0.05 bucket
+	h.Observe(1e6)  // overflow: +Inf only
+
+	bounds, cum := h.Buckets()
+	if len(cum) != len(bounds)+1 {
+		t.Fatalf("len(cum)=%d, want len(bounds)+1=%d", len(cum), len(bounds)+1)
+	}
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("cumulative counts decrease at %d: %v", i, cum)
+		}
+	}
+	if cum[len(cum)-1] != 4 {
+		t.Fatalf("+Inf bucket = %d, want total 4", cum[len(cum)-1])
+	}
+	for i, b := range bounds {
+		if b >= 0.002 {
+			if cum[i] != 2 {
+				t.Fatalf("cum at first bound >= 0.002 is %d, want 2", cum[i])
+			}
+			break
+		}
+	}
+}
+
+// Snapshot applies its sources in a fixed layering (counters, gauges,
+// histograms, views — each in sorted name order), so two snapshots of the
+// same registry are identical even with colliding names.
+func TestRegistrySnapshotDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.Counter("shared.name").Add(1)
+		r.Gauge("shared.name").Set(2) // gauge layer overwrites the counter
+		r.Counter("only.counter").Add(7)
+		r.Histogram("lat").Observe(0.5)
+		r.RegisterView("v", func() map[string]float64 {
+			return map[string]float64{"x": 3, "y": 4}
+		})
+		return r
+	}
+	a, b := build().Snapshot(), build().Snapshot()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("snapshots of identical registries differ:\n%v\n%v", a, b)
+	}
+	if a["shared.name"] != 2 {
+		t.Fatalf("gauge layer should overwrite counter: shared.name=%g, want 2", a["shared.name"])
+	}
+	if a["only.counter"] != 7 {
+		t.Fatalf("only.counter=%g, want 7", a["only.counter"])
+	}
+}

@@ -16,7 +16,9 @@ import (
 // v2 added the optional "job" block (service-layer job metadata) to Report.
 // v3 added the optional "ifc" block (information-flow leak summary) to
 // Report.
-const SchemaVersion = 3
+// v4 added the optional "hot_blocks" block (per-CFG-block exploration cost)
+// and the job block's "trace_id" field.
+const SchemaVersion = 4
 
 // Report is the versioned machine-readable artifact of one profiling run:
 // what was profiled, with which options, how the estimate converged, where
@@ -49,7 +51,25 @@ type Report struct {
 	// program declares a security policy; nil otherwise (schema v3).
 	IFC *IFCSummary `json:"ifc,omitempty"`
 
+	// HotBlocks ranks CFG blocks by attributed exploration cost — visits,
+	// forks, and solver wall time accumulated inside the symbolic engine —
+	// most expensive first (schema v4). Blocks never visited are omitted.
+	HotBlocks []HotBlockReport `json:"hot_blocks,omitempty"`
+
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// HotBlockReport is one CFG block's exploration cost: how often the engine
+// entered it, how many path forks it spawned, and how much solver wall time
+// its feasibility checks consumed. Visits and forks are deterministic for a
+// fixed seed at any worker count; solver seconds are wall time and vary.
+type HotBlockReport struct {
+	Rank      int     `json:"rank"`
+	ID        int     `json:"id"`
+	Label     string  `json:"label"`
+	Visits    int64   `json:"visits"`
+	Forks     int64   `json:"forks"`
+	SolverSec float64 `json:"solver_sec"`
 }
 
 // IFCSummary summarizes the information-flow pass over the profiled
@@ -107,7 +127,8 @@ func (s IFCSummary) MarshalJSON() ([]byte, error) {
 // and how long it waited before a worker picked it up.
 type JobMeta struct {
 	ID          string  `json:"id"`
-	Kind        string  `json:"kind"` // "profile" | "adversarial"
+	TraceID     string  `json:"trace_id,omitempty"` // request-scoped trace identifier
+	Kind        string  `json:"kind"`               // "profile" | "adversarial"
 	Priority    int     `json:"priority,omitempty"`
 	SubmittedAt string  `json:"submitted_at,omitempty"` // RFC3339Nano
 	StartedAt   string  `json:"started_at,omitempty"`
@@ -181,6 +202,23 @@ func (r *Report) Summary() string {
 		if len(rows) > 0 {
 			b.WriteString(Table([]string{"secret", "sink", "flow", "p", "witness"}, rows))
 		}
+	}
+
+	if len(r.HotBlocks) > 0 {
+		n := len(r.HotBlocks)
+		if n > 10 {
+			n = 10
+		}
+		fmt.Fprintf(&b, "hot blocks (top %d of %d):\n", n, len(r.HotBlocks))
+		var rows [][]string
+		for _, hb := range r.HotBlocks[:n] {
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", hb.Rank), hb.Label,
+				fmt.Sprintf("%d", hb.Visits), fmt.Sprintf("%d", hb.Forks),
+				fmt.Sprintf("%.3f", hb.SolverSec),
+			})
+		}
+		b.WriteString(Table([]string{"rank", "block", "visits", "forks", "solver s"}, rows))
 	}
 
 	if len(r.Metrics) > 0 {

@@ -1,12 +1,32 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
 	"sync"
 	"time"
 )
+
+// maxSpanRecords bounds the per-tracer span tree. A runaway run (millions
+// of pool batches) must not hold the whole tree in memory; past the cap,
+// spans still time their stage totals but stop being recorded, and the
+// tracer counts how many were dropped.
+const maxSpanRecords = 1 << 16
+
+// SpanRecord is one completed (or still-open) span in the tracer's span
+// tree. Start and Dur are offsets from the tracer's start time, so a whole
+// tree serializes without absolute timestamps.
+type SpanRecord struct {
+	ID     uint64
+	Parent uint64 // 0 = root
+	Name   string
+	Start  time.Duration
+	Dur    time.Duration
+	Attrs  []Field
+	Open   bool // still running when the tree was read
+}
 
 // Tracer records structured events, spans, and per-iteration profiler
 // records. A nil *Tracer is the default and is a complete no-op; every
@@ -15,23 +35,64 @@ import (
 //
 // When constructed with a non-nil writer, each event and span end is also
 // rendered as one indented text line (the `p4wn profile -v` output).
-// Regardless of the writer, the tracer retains iteration records and
-// accumulates per-stage wall time for the run report.
+// Regardless of the writer, the tracer retains iteration records,
+// accumulates per-stage wall time for the run report, and keeps a bounded
+// span tree (parent/child links plus attributes) exportable as Chrome
+// trace_event JSON via WriteChromeTrace.
 type Tracer struct {
-	mu     sync.Mutex
-	w      io.Writer
-	start  time.Time
-	depth  int
-	stages map[string]time.Duration
-	iters  []IterationRecord
-	events int
-	spans  int
+	mu      sync.Mutex
+	w       io.Writer
+	start   time.Time
+	depth   int
+	stages  map[string]time.Duration
+	iters   []IterationRecord
+	events  int
+	spans   int
+	traceID string
+
+	// span tree
+	nextSpan uint64
+	recs     []SpanRecord
+	recIdx   map[uint64]int // span ID -> index into recs
+	dropped  int64          // spans not recorded past maxSpanRecords
+
+	// clock is swappable in tests so golden trace exports are
+	// deterministic; nil means time.Now.
+	clock func() time.Time
 }
 
 // NewTracer builds a tracer. w may be nil to collect silently (records and
 // stage totals only, no text output).
 func NewTracer(w io.Writer) *Tracer {
 	return &Tracer{w: w, start: time.Now(), stages: map[string]time.Duration{}}
+}
+
+func (t *Tracer) now() time.Time {
+	if t.clock != nil {
+		return t.clock()
+	}
+	return time.Now()
+}
+
+// SetTraceID tags the tracer with a request-scoped trace identifier; it is
+// carried into the Chrome export and the daemon's structured logs.
+func (t *Tracer) SetTraceID(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.traceID = id
+	t.mu.Unlock()
+}
+
+// TraceID returns the tracer's trace identifier ("" for a nil tracer).
+func (t *Tracer) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.traceID
 }
 
 // Event emits one structured event. Nil-safe and allocation-free when the
@@ -51,7 +112,7 @@ func (t *Tracer) Event(scope, msg string, fields ...Field) {
 // line renders one event line; caller holds t.mu.
 func (t *Tracer) line(scope, msg string, fields []Field) {
 	var b strings.Builder
-	fmt.Fprintf(&b, "[%8.3fs] %s%s: %s", time.Since(t.start).Seconds(),
+	fmt.Fprintf(&b, "[%8.3fs] %s%s: %s", t.now().Sub(t.start).Seconds(),
 		strings.Repeat("  ", t.depth), scope, msg)
 	for _, f := range fields {
 		fmt.Fprintf(&b, " %s=%g", f.Key, f.Val)
@@ -66,19 +127,93 @@ type Span struct {
 	t     *Tracer
 	name  string
 	start time.Time
+	id    uint64
 }
 
-// StartSpan opens a named span. Stage wall time accumulates under the span
-// name when the span ends, and nested spans indent the -v output.
+// spanCtxKey carries the current Span through a context chain.
+type spanCtxKey struct{}
+
+// WithSpan returns a context carrying s as the current span; children
+// started via StartSpanCtx parent under it.
+func WithSpan(ctx context.Context, s Span) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the span carried by ctx (the zero Span if none).
+func SpanFromContext(ctx context.Context) Span {
+	if ctx == nil {
+		return Span{}
+	}
+	s, _ := ctx.Value(spanCtxKey{}).(Span)
+	return s
+}
+
+// StartSpan opens a named root-level span. Stage wall time accumulates
+// under the span name when the span ends, and nested spans indent the -v
+// output.
 func (t *Tracer) StartSpan(name string) Span {
+	return t.startSpan(name, 0)
+}
+
+// StartSpanCtx opens a named span parented under the span carried by ctx
+// (root-level if none) and returns a derived context carrying the new span,
+// so the tree survives function and worker-pool boundaries. A nil tracer
+// returns ctx unchanged and the no-op span without allocating.
+func (t *Tracer) StartSpanCtx(ctx context.Context, name string) (context.Context, Span) {
+	if t == nil {
+		return ctx, Span{}
+	}
+	var parent uint64
+	if p := SpanFromContext(ctx); p.t == t {
+		parent = p.id
+	}
+	s := t.startSpan(name, parent)
+	return WithSpan(ctx, s), s
+}
+
+func (t *Tracer) startSpan(name string, parent uint64) Span {
 	if t == nil {
 		return Span{}
 	}
+	start := t.now()
 	t.mu.Lock()
 	t.spans++
 	t.depth++
+	t.nextSpan++
+	id := t.nextSpan
+	if len(t.recs) < maxSpanRecords {
+		if t.recIdx == nil {
+			t.recIdx = make(map[uint64]int)
+		}
+		t.recIdx[id] = len(t.recs)
+		t.recs = append(t.recs, SpanRecord{
+			ID:     id,
+			Parent: parent,
+			Name:   name,
+			Start:  start.Sub(t.start),
+			Open:   true,
+		})
+	} else {
+		t.dropped++
+	}
 	t.mu.Unlock()
-	return Span{t: t, name: name, start: time.Now()}
+	return Span{t: t, name: name, start: start, id: id}
+}
+
+// Annotate attaches key/value attributes to the span's record. No-op on
+// the zero span or when the span fell past the record cap.
+func (s Span) Annotate(attrs ...Field) {
+	if s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	if i, ok := s.t.recIdx[s.id]; ok {
+		s.t.recs[i].Attrs = append(s.t.recs[i].Attrs, attrs...)
+	}
+	s.t.mu.Unlock()
 }
 
 // End closes the span, returning its duration (0 for the no-op span).
@@ -86,17 +221,51 @@ func (s Span) End() time.Duration {
 	if s.t == nil {
 		return 0
 	}
-	d := time.Since(s.start)
+	d := s.t.now().Sub(s.start)
 	s.t.mu.Lock()
 	s.t.stages[s.name] += d
 	if s.t.depth > 0 {
 		s.t.depth--
+	}
+	if i, ok := s.t.recIdx[s.id]; ok {
+		s.t.recs[i].Dur = d
+		s.t.recs[i].Open = false
 	}
 	if s.t.w != nil {
 		s.t.line(s.name, fmt.Sprintf("done in %.3fs", d.Seconds()), nil)
 	}
 	s.t.mu.Unlock()
 	return d
+}
+
+// Spans returns a copy of the recorded span tree in start order (the order
+// spans were opened). Open spans are reported with their duration so far.
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, len(t.recs))
+	copy(out, t.recs)
+	for i := range out {
+		if out[i].Open {
+			out[i].Dur = now.Sub(t.start) - out[i].Start
+		}
+		out[i].Attrs = append([]Field(nil), out[i].Attrs...)
+	}
+	return out
+}
+
+// DroppedSpans returns how many spans fell past the record cap.
+func (t *Tracer) DroppedSpans() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
 }
 
 // IterationRecord is one main-loop iteration of the profiler: the
@@ -128,7 +297,7 @@ func (t *Tracer) Iteration(rec IterationRecord) {
 	if t.w != nil {
 		fmt.Fprintf(t.w,
 			"[%8.3fs] iter %2d: paths=%d merged=%d forks=%d cons=%d maxdiff=%.2e stable=%d mc(q=%d hit=%.0f%%) sym=%.3fs update=%.3fs merge=%.3fs\n",
-			time.Since(t.start).Seconds(), rec.Iter, rec.Paths, rec.MergedTo,
+			t.now().Sub(t.start).Seconds(), rec.Iter, rec.Paths, rec.MergedTo,
 			rec.Forks, rec.Constraints, rec.MaxDiff, rec.Stable,
 			rec.MCQueries, rec.MCHitRate*100, rec.SymSec, rec.UpdateSec, rec.MergeSec)
 	}

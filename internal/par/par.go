@@ -85,9 +85,12 @@ func (p *Pool) Run(ctx context.Context, n int, fn func(int) error) error {
 		return p.runInline(ctx, n, fn)
 	}
 
+	// The batch span parents under whatever span the caller's context
+	// carries (an iteration span, the sampling stage, ...), so pool fan-outs
+	// render nested inside the phase that issued them.
 	var span obs.Span
 	if p.tracer != nil {
-		span = p.tracer.StartSpan(p.scope + ".batch")
+		_, span = p.tracer.StartSpanCtx(ctx, p.scope+".batch")
 	}
 	start := time.Now()
 
@@ -142,11 +145,13 @@ func (p *Pool) Run(ctx context.Context, n int, fn func(int) error) error {
 	p.batches.Add(1)
 	p.wallNS.Add(int64(wall))
 	if p.tracer != nil {
-		span.End()
 		util := 0.0
 		if wall > 0 {
 			util = time.Duration(batchBusy.Load()).Seconds() / (wall.Seconds() * float64(w))
 		}
+		span.Annotate(obs.F("tasks", float64(n)), obs.F("workers", float64(w)),
+			obs.F("util", util))
+		span.End()
 		p.tracer.Event(p.scope, "batch",
 			obs.F("tasks", float64(n)), obs.F("workers", float64(w)),
 			obs.F("util", util))

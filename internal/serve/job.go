@@ -5,6 +5,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Job is one unit of service work: a normalized spec plus its lifecycle
@@ -27,18 +29,45 @@ type Job struct {
 	// done closes on reaching a terminal state; SSE handlers select on it.
 	done chan struct{}
 	hub  *hub
+
+	// tracer records the job's span tree (submit → queue → run → persist,
+	// with the profiler's spans nested inside) and streams its text lines to
+	// the hub. It lives as long as the Job record, so /debug/trace/{id}
+	// serves the trace after the run finishes.
+	tracer  *obs.Tracer
+	traceID string
+	rootCtx context.Context // carries the root "job" span
+	root    obs.Span
+	queued  obs.Span
+	run     obs.Span
+	running bool
 }
 
-func newJob(id string, spec JobSpec, now time.Time) *Job {
-	return &Job{
+// traceIDLen is how much of the content-addressed job ID names the trace.
+const traceIDLen = 16
+
+func newJob(id string, spec JobSpec, now time.Time, replayCap int) *Job {
+	j := &Job{
 		ID:        id,
 		Spec:      spec,
 		state:     StateQueued,
 		submitted: now,
 		done:      make(chan struct{}),
-		hub:       newHub(),
+		hub:       newHub(replayCap),
 	}
+	j.tracer = obs.NewTracer(j.hub)
+	j.traceID = id
+	if len(j.traceID) > traceIDLen {
+		j.traceID = j.traceID[:traceIDLen]
+	}
+	j.tracer.SetTraceID(j.traceID)
+	j.rootCtx, j.root = j.tracer.StartSpanCtx(context.Background(), "job")
+	_, j.queued = j.tracer.StartSpanCtx(j.rootCtx, "queued")
+	return j
 }
+
+// TraceID returns the job's request-scoped trace identifier.
+func (j *Job) TraceID() string { return j.traceID }
 
 // State returns the job's current lifecycle state.
 func (j *Job) State() JobState {
@@ -49,17 +78,29 @@ func (j *Job) State() JobState {
 
 // setRunning transitions queued → running, attaching the cancel function
 // for the job's context. It reports false when the job was canceled while
-// queued (the worker must skip it).
+// queued (the worker must skip it). The queued span ends and the run span
+// opens here, so the exported trace shows the queue wait as its own region.
 func (j *Job) setRunning(cancel context.CancelFunc, now time.Time) bool {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.state != StateQueued {
+		j.mu.Unlock()
 		return false
 	}
 	j.state = StateRunning
 	j.started = now
 	j.cancel = cancel
+	j.running = true
+	j.mu.Unlock()
+	j.queued.End()
+	_, j.run = j.tracer.StartSpanCtx(j.rootCtx, "run")
 	return true
+}
+
+// runContext derives the context a worker executes the job under: ctx's
+// cancellation and deadline, plus the job's run span for the profiler's
+// spans to nest into.
+func (j *Job) runContext(ctx context.Context) context.Context {
+	return obs.WithSpan(ctx, j.run)
 }
 
 // finish moves the job to a terminal state exactly once.
@@ -69,11 +110,18 @@ func (j *Job) finish(state JobState, errMsg string, now time.Time) {
 		j.mu.Unlock()
 		return
 	}
+	wasRunning := j.running
 	j.state = state
 	j.err = errMsg
 	j.finished = now
 	cancel := j.cancel
 	j.mu.Unlock()
+	if wasRunning {
+		j.run.End()
+	} else {
+		j.queued.End() // canceled while queued
+	}
+	j.root.End()
 	if cancel != nil {
 		cancel()
 	}
@@ -105,6 +153,7 @@ func (j *Job) Status() JobStatus {
 	defer j.mu.Unlock()
 	st := JobStatus{
 		ID:          j.ID,
+		TraceID:     j.traceID,
 		Kind:        j.Spec.Kind,
 		State:       j.state,
 		Priority:    j.Spec.Priority,
@@ -120,25 +169,35 @@ func (j *Job) Status() JobStatus {
 }
 
 // hub broadcasts a job's progress lines (the obs tracer output) to any
-// number of SSE subscribers, buffering history so late subscribers replay
-// the run from the start.
+// number of SSE subscribers, buffering bounded history so late subscribers
+// replay the run from the start.
 type hub struct {
-	mu     sync.Mutex
-	lines  []string
-	subs   map[chan string]struct{}
-	closed bool
+	mu        sync.Mutex
+	replayCap int
+	lines     []string
+	subs      map[chan string]struct{}
+	closed    bool
 
 	// dropped counts lines discarded for slow subscribers (bounded send).
 	dropped int64
+
+	// Optional instrumentation, set by the server: lag observes each live
+	// subscriber's channel backlog (in lines) per published line, dropCtr
+	// counts lines dropped on full subscriber channels.
+	lag     *obs.Histogram
+	dropCtr *obs.Counter
 }
 
-// hubReplayCap bounds the per-job replay buffer; beyond it only live lines
-// reach subscribers. Profiler runs emit a handful of lines per iteration,
-// so the cap is generous.
+// hubReplayCap is the default bound on the per-job replay buffer; beyond it
+// only live lines reach subscribers. Profiler runs emit a handful of lines
+// per iteration, so the cap is generous.
 const hubReplayCap = 4096
 
-func newHub() *hub {
-	return &hub{subs: map[chan string]struct{}{}}
+func newHub(replayCap int) *hub {
+	if replayCap <= 0 {
+		replayCap = hubReplayCap
+	}
+	return &hub{replayCap: replayCap, subs: map[chan string]struct{}{}}
 }
 
 // Write ingests tracer output; each call carries one or more whole
@@ -154,14 +213,16 @@ func (h *hub) Write(p []byte) (int, error) {
 			continue
 		}
 		line := string(raw)
-		if len(h.lines) < hubReplayCap {
+		if len(h.lines) < h.replayCap {
 			h.lines = append(h.lines, line)
 		}
 		for ch := range h.subs {
+			h.lag.Observe(float64(len(ch)))
 			select {
 			case ch <- line:
 			default:
 				h.dropped++
+				h.dropCtr.Inc()
 			}
 		}
 	}

@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The replay buffer is bounded: past the cap, subscribers still receive
+// live lines but the stored history stops growing.
+func TestHubReplayBounded(t *testing.T) {
+	h := newHub(8)
+	for i := 0; i < 50; i++ {
+		fmt.Fprintf(h, "line %d\n", i)
+	}
+	_, replay := h.subscribe()
+	if len(replay) != 8 {
+		t.Fatalf("replay holds %d lines, want cap 8", len(replay))
+	}
+	if replay[0] != "line 0" || replay[7] != "line 7" {
+		t.Fatalf("replay kept the wrong lines: %v", replay)
+	}
+
+	if def := newHub(0); def.replayCap != hubReplayCap {
+		t.Fatalf("default replay cap = %d, want %d", def.replayCap, hubReplayCap)
+	}
+}
+
+// Subscribers churning while a writer floods and the hub finally closes:
+// the -race build is the real assertion here, plus every subscriber channel
+// must end closed with no deadlock.
+func TestHubConcurrentChurn(t *testing.T) {
+	h := newHub(64)
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				fmt.Fprintf(h, "w%d line %d\n", w, i)
+			}
+		}(w)
+	}
+
+	var subs sync.WaitGroup
+	for s := 0; s < 16; s++ {
+		subs.Add(1)
+		go func() {
+			defer subs.Done()
+			for k := 0; k < 20; k++ {
+				ch, replay := h.subscribe()
+				_ = replay
+				// Drain a few lines (or hit closed), then churn away.
+				for i := 0; i < 5; i++ {
+					if _, open := <-ch; !open {
+						return
+					}
+				}
+				h.unsubscribe(ch)
+			}
+		}()
+	}
+
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	writers.Wait()
+	h.close()
+	subs.Wait()
+
+	// Post-close: writes are dropped, subscribe returns a closed channel
+	// plus the replay history.
+	fmt.Fprintf(h, "after close\n")
+	ch, replay := h.subscribe()
+	if _, open := <-ch; open {
+		t.Fatal("subscribe after close returned an open channel")
+	}
+	for _, l := range replay {
+		if l == "after close" {
+			t.Fatal("write after close reached the replay buffer")
+		}
+	}
+}
+
+// Every job-scoped daemon log line carries job_id and trace_id, so JSON
+// logs join against /debug/trace exports and the report's job block.
+func TestSlogLinesCarryJobAndTraceID(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	logger := slog.New(slog.NewJSONHandler(&lockedWriter{w: &buf, mu: &mu}, nil))
+	s := newTestServer(t, Config{JobWorkers: 1, Logger: logger})
+
+	spec := JobSpec{Source: synGuardSrc(t), Scale: "quick"}
+	st, _, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, ok := s.Job(st.ID)
+	if !ok {
+		t.Fatal("job not registered")
+	}
+	select {
+	case <-j.done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("job did not finish")
+	}
+	if st.TraceID == "" || len(st.TraceID) != traceIDLen {
+		t.Fatalf("status trace_id = %q, want %d hex chars", st.TraceID, traceIDLen)
+	}
+
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	var sawEnqueued, sawStarted, sawFinished bool
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("log line is not JSON: %q", sc.Text())
+		}
+		msg, _ := rec["msg"].(string)
+		if !strings.HasPrefix(msg, "job ") {
+			continue
+		}
+		if rec["job_id"] != st.ID {
+			t.Errorf("%q log line job_id = %v, want %s", msg, rec["job_id"], st.ID)
+		}
+		if rec["trace_id"] != st.TraceID {
+			t.Errorf("%q log line trace_id = %v, want %s", msg, rec["trace_id"], st.TraceID)
+		}
+		switch msg {
+		case "job enqueued":
+			sawEnqueued = true
+		case "job started":
+			sawStarted = true
+		case "job finished":
+			sawFinished = true
+			if rec["outcome"] != "done" {
+				t.Errorf("finish outcome = %v, want done", rec["outcome"])
+			}
+		}
+	}
+	if !sawEnqueued || !sawStarted || !sawFinished {
+		t.Fatalf("lifecycle log lines missing (enqueued=%v started=%v finished=%v):\n%s",
+			sawEnqueued, sawStarted, sawFinished, out)
+	}
+}
+
+type lockedWriter struct {
+	w  *bytes.Buffer
+	mu *sync.Mutex
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+// The SLO histograms land under the right labeled names after a run.
+func TestSLOMetricsRecorded(t *testing.T) {
+	s := newTestServer(t, Config{JobWorkers: 1})
+	st, _, err := s.Submit(JobSpec{Source: synGuardSrc(t), Scale: "quick"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _ := s.Job(st.ID)
+	select {
+	case <-j.done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("job did not finish")
+	}
+
+	snap := s.Registry().Snapshot()
+	if snap[`serve.queue_wait_seconds{outcome="run"}.count`] < 1 {
+		t.Errorf("queue-wait histogram not observed: %v", snapKeys(snap, "queue_wait"))
+	}
+	if snap[`serve.job_run_seconds{outcome="done"}.count`] < 1 {
+		t.Errorf("run-duration histogram not observed: %v", snapKeys(snap, "job_run"))
+	}
+	if _, ok := snap["serve.store_hit_ratio"]; !ok {
+		t.Error("store_hit_ratio gauge missing from the serve view")
+	}
+}
+
+func snapKeys(m map[string]float64, substr string) []string {
+	var out []string
+	for k := range m {
+		if strings.Contains(k, substr) {
+			out = append(out, k)
+		}
+	}
+	return out
+}

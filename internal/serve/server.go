@@ -4,6 +4,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"sort"
@@ -46,9 +48,15 @@ type Config struct {
 	// more than the quota, so default-option jobs stay byte-identical to
 	// offline runs.
 	MaxPathsQuota int
+	// ReplayCap bounds each job's SSE replay buffer in lines (default 4096);
+	// past it late subscribers only see live lines.
+	ReplayCap int
 	// Registry receives the service counters and views; a fresh registry
 	// is created when nil.
 	Registry *obs.Registry
+	// Logger receives the daemon's structured log lines; every record tagged
+	// with a job carries job_id and trace_id attributes. Nil discards.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -73,8 +81,14 @@ func (c Config) withDefaults() Config {
 	if c.MaxPathsQuota == 0 {
 		c.MaxPathsQuota = 1 << 20
 	}
+	if c.ReplayCap == 0 {
+		c.ReplayCap = hubReplayCap
+	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	return c
 }
@@ -84,6 +98,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg   Config
 	reg   *obs.Registry
+	log   *slog.Logger
 	store *Store
 	queue *queue
 
@@ -120,6 +135,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		reg:     cfg.Registry,
+		log:     cfg.Logger,
 		store:   store,
 		queue:   newQueue(cfg.QueueDepth),
 		jobs:    map[string]*Job{},
@@ -128,6 +144,10 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.reg.RegisterView("store", store.Metrics)
 	s.reg.RegisterView("serve", s.viewMetrics)
+	s.reg.SetHelp("serve.queue_wait_seconds", "Time jobs spend queued before running, by outcome.")
+	s.reg.SetHelp("serve.job_run_seconds", "Job run duration from start to terminal state, by outcome.")
+	s.reg.SetHelp("serve.sse_lag_lines", "Per-line backlog of live SSE subscriber channels.")
+	s.reg.SetHelp("serve.store_hit_ratio", "Fraction of store lookups served from cache.")
 	for i := 0; i < cfg.JobWorkers; i++ {
 		s.workerWG.Add(1)
 		go s.worker()
@@ -156,12 +176,20 @@ func (s *Server) viewMetrics() map[string]float64 {
 		draining = 1
 	}
 	s.mu.Unlock()
-	return map[string]float64{
+	out := map[string]float64{
 		"queue_depth": float64(s.queue.depth()),
 		"jobs":        float64(jobs),
 		"running":     float64(running),
 		"draining":    draining,
 	}
+	// Store hit ratio as a gauge: hits over lookups, 0 before any traffic.
+	sm := s.store.Metrics()
+	if total := sm["hits_total"] + sm["misses"]; total > 0 {
+		out["store_hit_ratio"] = sm["hits_total"] / total
+	} else {
+		out["store_hit_ratio"] = 0
+	}
+	return out
 }
 
 // Submit runs the single-flight submission flow shared by the HTTP handler
@@ -217,7 +245,9 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, int, error) {
 		s.reg.Counter("serve.dedup_inflight").Inc()
 		return j.Status(), http.StatusOK, nil
 	}
-	j := newJob(id, norm, time.Now())
+	j := newJob(id, norm, time.Now(), s.cfg.ReplayCap)
+	j.hub.lag = s.reg.Histogram("serve.sse_lag_lines")
+	j.hub.dropCtr = s.reg.Counter("serve.sse_dropped_lines")
 	if err := s.queue.push(j); err != nil {
 		code := http.StatusServiceUnavailable
 		if err == ErrQueueFull {
@@ -229,7 +259,16 @@ func (s *Server) Submit(spec JobSpec) (JobStatus, int, error) {
 	s.jobs[id] = j
 	s.trimJobsLocked()
 	s.reg.Counter("serve.enqueued").Inc()
+	s.jobLog(j).Info("job enqueued",
+		"kind", j.Spec.Kind, "priority", j.Spec.Priority,
+		"queue_depth", s.queue.depth())
 	return j.Status(), http.StatusAccepted, nil
+}
+
+// jobLog returns the server logger scoped to a job: every record carries
+// the job and trace identifiers.
+func (s *Server) jobLog(j *Job) *slog.Logger {
+	return s.log.With("job_id", j.ID, "trace_id", j.traceID)
 }
 
 // trimJobsLocked discards the oldest terminal jobs past jobsCap; callers
@@ -294,39 +333,84 @@ func (s *Server) runJob(j *Job) {
 	}
 	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
 	defer cancel()
-	if !j.setRunning(cancel, time.Now()) {
-		return // canceled while queued
+	started := time.Now()
+	if !j.setRunning(cancel, started) {
+		// Canceled while queued: the wait still ended, just not in a run.
+		s.reg.Histogram(`serve.queue_wait_seconds{outcome="canceled"}`).
+			Observe(started.Sub(j.submitted).Seconds())
+		return
 	}
 	s.reg.Counter("serve.jobs_run").Inc()
+	s.reg.Histogram(`serve.queue_wait_seconds{outcome="run"}`).
+		Observe(started.Sub(j.submitted).Seconds())
+	s.jobLog(j).Info("job started",
+		"kind", j.Spec.Kind, "timeout", timeout.String(),
+		"wait_sec", started.Sub(j.submitted).Seconds())
+
+	finish := func(state JobState, errMsg, outcome string) {
+		now := time.Now()
+		dur := now.Sub(started)
+		s.reg.Histogram(`serve.job_run_seconds{outcome="`+outcome+`"}`).
+			Observe(dur.Seconds())
+		j.finish(state, errMsg, now)
+		lg := s.jobLog(j)
+		if errMsg == "" {
+			lg.Info("job finished", "outcome", outcome, "run_sec", dur.Seconds())
+		} else {
+			lg.Warn("job finished", "outcome", outcome, "run_sec", dur.Seconds(),
+				"error", firstLine(errMsg))
+		}
+	}
 
 	defer func() {
 		if rec := recover(); rec != nil {
 			s.reg.Counter("serve.panics").Inc()
 			s.reg.Counter("serve.jobs_failed").Inc()
-			j.finish(StateFailed, fmt.Sprintf("panic: %v\n%s", rec, debug.Stack()), time.Now())
+			finish(StateFailed, fmt.Sprintf("panic: %v\n%s", rec, debug.Stack()), "failed")
 		}
 	}()
 
 	data, err := s.execute(ctx, j)
 	switch {
 	case err == nil:
-		if perr := s.store.Put(j.ID, data); perr != nil {
+		if perr := s.persist(j, data); perr != nil {
 			s.reg.Counter("serve.jobs_failed").Inc()
-			j.finish(StateFailed, "persist result: "+perr.Error(), time.Now())
+			finish(StateFailed, "persist result: "+perr.Error(), "failed")
 			return
 		}
 		s.reg.Counter("serve.jobs_done").Inc()
-		j.finish(StateDone, "", time.Now())
+		finish(StateDone, "", "done")
 	case ctx.Err() == context.Canceled:
 		s.reg.Counter("serve.jobs_canceled").Inc()
-		j.finish(StateCanceled, "canceled", time.Now())
+		finish(StateCanceled, "canceled", "canceled")
 	case ctx.Err() == context.DeadlineExceeded:
 		s.reg.Counter("serve.jobs_failed").Inc()
-		j.finish(StateFailed, fmt.Sprintf("job timeout (%s) exceeded", timeout), time.Now())
+		finish(StateFailed, fmt.Sprintf("job timeout (%s) exceeded", timeout), "failed")
 	default:
 		s.reg.Counter("serve.jobs_failed").Inc()
-		j.finish(StateFailed, err.Error(), time.Now())
+		finish(StateFailed, err.Error(), "failed")
 	}
+}
+
+// persist writes the job's result into the content-addressed store under
+// its own span, so trace exports show store latency next to engine time.
+func (s *Server) persist(j *Job, data []byte) error {
+	_, span := j.tracer.StartSpanCtx(j.runContext(context.Background()), "persist")
+	span.Annotate(obs.F("bytes", float64(len(data))))
+	err := s.store.Put(j.ID, data)
+	span.End()
+	return err
+}
+
+// firstLine trims a multi-line error (panic stacks) for log records; the
+// full text stays on the job status.
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
 }
 
 // execute runs the job's pipeline and returns the result JSON to store.
@@ -382,9 +466,11 @@ func oracleFor(spec JobSpec, meta *programs.Meta) dist.Oracle {
 // with job metadata attached.
 func (s *Server) runProfile(ctx context.Context, j *Job, prog *ir.Program, meta *programs.Meta) ([]byte, error) {
 	opt := j.Spec.Options.Options()
-	opt.Context = ctx
+	// The job's own tracer runs the profile, so engine spans nest under the
+	// job's "run" span and /debug/trace/{id} exports one connected tree.
+	opt.Context = j.runContext(ctx)
 	opt.Workers = s.cfg.ProfWorkers
-	opt.Tracer = obs.NewTracer(j.hub)
+	opt.Tracer = j.tracer
 	if s.cfg.MaxPathsQuota > 0 && opt.MaxPaths > s.cfg.MaxPathsQuota {
 		opt.MaxPaths = s.cfg.MaxPathsQuota
 	}
@@ -434,6 +520,7 @@ func (s *Server) jobMeta(j *Job) *obs.JobMeta {
 	defer j.mu.Unlock()
 	m := &obs.JobMeta{
 		ID:          j.ID,
+		TraceID:     j.traceID,
 		Kind:        j.Spec.Kind,
 		Priority:    j.Spec.Priority,
 		SubmittedAt: timeRFC(j.submitted),
@@ -461,6 +548,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.draining = true
 	s.mu.Unlock()
 	s.queue.close()
+	s.log.Info("drain started", "queue_depth", s.queue.depth())
 
 	done := make(chan struct{})
 	go func() {
@@ -469,10 +557,12 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.log.Info("drain complete")
 		return nil
 	case <-ctx.Done():
 		s.stopAll() // cancels every in-flight job context
 		<-done
+		s.log.Warn("drain deadline hit; in-flight jobs canceled")
 		return ctx.Err()
 	}
 }
@@ -498,8 +588,23 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /debug/trace/{id}", s.handleTrace)
 	obs.Mount(mux, s.reg)
 	return mux
+}
+
+// handleTrace exports a job's span tree as Chrome trace_event JSON, ready
+// for chrome://tracing or https://ui.perfetto.dev.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.Job(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{"unknown job " + id})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("Content-Disposition", `attachment; filename="trace-`+j.traceID+`.json"`)
+	j.tracer.WriteChromeTrace(w)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

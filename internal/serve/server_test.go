@@ -648,8 +648,41 @@ func TestHTTPEndToEnd(t *testing.T) {
 		t.Fatalf("cancel unknown job: %d", resp.StatusCode)
 	}
 
-	if resp, body := get("/metrics"); resp.StatusCode != 200 || !strings.Contains(string(body), "serve.jobs_run") {
+	resp, body = get("/metrics")
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "serve_jobs_run") {
 		t.Fatalf("metrics endpoint: %d %.200s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PrometheusContentType {
+		t.Fatalf("metrics content type = %q, want %q", ct, obs.PrometheusContentType)
+	}
+	if errs := obs.LintPrometheus(body); len(errs) != 0 {
+		t.Fatalf("metrics exposition fails lint: %v", errs)
+	}
+
+	// The job's span tree exports as Chrome trace_event JSON.
+	resp, body = get("/debug/trace/" + st.ID)
+	if resp.StatusCode != 200 {
+		t.Fatalf("trace endpoint: %d %.200s", resp.StatusCode, body)
+	}
+	var tr struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &tr); err != nil {
+		t.Fatalf("trace is not JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range tr.TraceEvents {
+		if n, _ := ev["name"].(string); n != "" {
+			names[n] = true
+		}
+	}
+	for _, want := range []string{"job", "queued", "run", "probprof", "persist"} {
+		if !names[want] {
+			t.Fatalf("trace missing span %q; got %v", want, names)
+		}
+	}
+	if resp, _ := get("/debug/trace/" + strings.Repeat("0", 64)); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("trace of unknown job: %d", resp.StatusCode)
 	}
 }
 

@@ -151,9 +151,10 @@ func (s JobState) terminal() bool {
 
 // JobStatus is the wire form of a job's current state.
 type JobStatus struct {
-	ID    string   `json:"id"`
-	Kind  string   `json:"kind"`
-	State JobState `json:"state"`
+	ID      string   `json:"id"`
+	TraceID string   `json:"trace_id,omitempty"`
+	Kind    string   `json:"kind"`
+	State   JobState `json:"state"`
 	// Cached marks a submission answered straight from the result store,
 	// with no engine run.
 	Cached      bool    `json:"cached,omitempty"`

@@ -56,7 +56,7 @@ func (e *Engine) execHashBaseline(p *Path, h *ir.HashAccess, pkt int) ([]*Path, 
 	// One fork per prior write: the new access aliases that slot.
 	for _, w := range writes {
 		q := p.Clone()
-		e.Stats.Forks++
+		e.countFork()
 		e.Stats.ArrayBytes += decl.Size * 16 // cloned array state
 		q.PC = append(q.PC, solver.NewCmp(ir.CmpEq, solver.VarExpr(idxVar), solver.VarExpr(w.IdxVar)))
 		if !e.feasible(q) {
@@ -64,7 +64,7 @@ func (e *Engine) execHashBaseline(p *Path, h *ir.HashAccess, pkt int) ([]*Path, 
 		}
 		// Same slot: same key (hit) or different key (collision).
 		hitQ := q.Clone()
-		e.Stats.Forks++
+		e.countFork()
 		e.Stats.ArrayBytes += decl.Size * 16
 		for i := range keyLins {
 			if i < len(w.Keys) {
@@ -133,7 +133,7 @@ func (e *Engine) feasible(p *Path) bool {
 		return true
 	}
 	e.Stats.FeasibilityChk++
-	return solver.Feasible(p.PC, e.Space)
+	return e.timedFeasible(p.PC)
 }
 
 func (e *Engine) execBloomBaseline(p *Path, b *ir.BloomOp, pkt int) ([]*Path, error) {
@@ -144,7 +144,7 @@ func (e *Engine) execBloomBaseline(p *Path, b *ir.BloomOp, pkt int) ([]*Path, er
 	// Each of the k probed bits is an unconstrained symbolic read; the
 	// membership outcome forks qualitatively (the baseline cannot weight).
 	hitQ := p.Clone()
-	e.Stats.Forks++
+	e.countFork()
 	e.Stats.ArrayBytes += decl.Bits * 16
 	missQ := p
 	var out []*Path
@@ -175,7 +175,7 @@ func (e *Engine) execSketchUpdateBaseline(p *Path, s *ir.SketchUpdate, pkt int) 
 	idxVar, _ := singleVar(idxVal)
 	for _, w := range writes {
 		q := p.Clone()
-		e.Stats.Forks++
+		e.countFork()
 		e.Stats.ArrayBytes += decl.Rows * decl.Cols * 16
 		q.PC = append(q.PC, solver.NewCmp(ir.CmpEq, solver.VarExpr(idxVar), solver.VarExpr(w.IdxVar)))
 		if e.feasible(q) {
@@ -203,7 +203,7 @@ func (e *Engine) execSketchBranchBaseline(p *Path, s *ir.SketchBranch, pkt int) 
 	con := solver.NewCmp(s.Op, el, solver.ConstExpr(int64(s.Threshold)))
 
 	tq := p.Clone()
-	e.Stats.Forks++
+	e.countFork()
 	e.Stats.ArrayBytes += decl.Rows * decl.Cols * 16
 	tq.PC = append(tq.PC, con)
 	fq := p

@@ -108,16 +108,24 @@ type Engine struct {
 	Opts  Options
 	Stats Stats
 
+	// Hot accumulates per-block exploration cost (visits, forks, solver
+	// time). The pointer is shared by every worker view — the accumulators
+	// are atomic — so one snapshot covers the whole run.
+	Hot *HotStats
+
 	pool *par.Pool
 	tbl  *tableVars
 
 	// Worker-view state: each Step task executes on a shallow copy of the
 	// engine carrying its own havoc namespace, local stats, and a handle on
-	// the step's shared live-path counter.
+	// the step's shared live-path counter. curBlk tracks the block currently
+	// executing so forks and solver time attribute to it (-1 outside any
+	// block).
 	havocN  int
 	havocNS string
 	live    *atomic.Int64
 	tick    int
+	curBlk  int
 }
 
 // tableVars holds the lazily created persistent key variables of symbolic
@@ -140,7 +148,8 @@ func NewEngine(p *ir.Program, opts Options) *Engine {
 		pool = par.New(opts.Workers, opts.Tracer, "sym")
 	}
 	return &Engine{Prog: p, Space: solver.NewSpace(p.Fields), Opts: opts,
-		pool: pool, tbl: &tableVars{m: map[string][][]solver.Var{}}}
+		Hot:  NewHotStats(len(p.Nodes())),
+		pool: pool, tbl: &tableVars{m: map[string][][]solver.Var{}}, curBlk: -1}
 }
 
 // Pool returns the engine's worker pool (shared with the profiler when
@@ -163,7 +172,24 @@ func (e *Engine) workerView(pkt, task int, live *atomic.Int64) *Engine {
 	w.havocNS = strconv.Itoa(pkt) + "_" + strconv.Itoa(task) + "_"
 	w.live = live
 	w.tick = 0
+	w.curBlk = -1
 	return &w
+}
+
+// countFork records a path fork: the sequential stats counter plus the
+// per-block hot accumulator for the block being executed.
+func (e *Engine) countFork() {
+	e.Stats.Forks++
+	e.Hot.Fork(e.curBlk)
+}
+
+// timedFeasible runs one solver feasibility check, attributing its wall
+// time to the current block. Callers account FeasibilityChk themselves.
+func (e *Engine) timedFeasible(cs []solver.Constraint) bool {
+	start := time.Now()
+	ok := solver.Feasible(cs, e.Space)
+	e.Hot.AddSolver(e.curBlk, time.Since(start))
+	return ok
 }
 
 // add accumulates worker-view stats; plain integer sums, so folding the
@@ -513,7 +539,7 @@ func (e *Engine) forkCmp(p *Path, c ir.Cmp, pkt int) (*Path, *Path) {
 	lb, _ := b.Lin()
 	con := solver.NewCmp(c.Op, la, lb)
 
-	e.Stats.Forks++
+	e.countFork()
 	pt := p.Clone()
 	pt.PC = append(pt.PC, con)
 	pf := p
@@ -521,10 +547,10 @@ func (e *Engine) forkCmp(p *Path, c ir.Cmp, pkt int) (*Path, *Path) {
 
 	if !e.Opts.NoFeasibilityCheck {
 		e.Stats.FeasibilityChk += 2
-		if !solver.Feasible(pt.PC, e.Space) {
+		if !e.timedFeasible(pt.PC) {
 			pt = nil
 		}
-		if !solver.Feasible(pf.PC, e.Space) {
+		if !e.timedFeasible(pf.PC) {
 			pf = nil
 		}
 	}
@@ -539,7 +565,7 @@ func (e *Engine) forkDist(p *Path, d *greybox.ValueDist, op ir.CmpOp, k uint64) 
 		return nil, p
 	}
 	mTrue := d.MassWhere(func(v uint64) bool { return cmpConcrete(op, v, k) }) / total
-	e.Stats.Forks++
+	e.countFork()
 	var pt, pf *Path
 	if mTrue > 0 {
 		pt = p.Clone()

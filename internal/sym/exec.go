@@ -73,6 +73,10 @@ func (e *Engine) execBlock(p *Path, b *ir.Block, pkt int) ([]*Path, error) {
 	}
 	p.Visits[b.ID] = true
 	p.AllVisits[b.ID]++
+	e.Hot.Visit(b.ID)
+	prevBlk := e.curBlk
+	e.curBlk = b.ID
+	defer func() { e.curBlk = prevBlk }()
 	cur := []*Path{p}
 	for _, st := range b.Stmts {
 		var next []*Path
@@ -253,7 +257,7 @@ func (e *Engine) runArms(p *Path, arms []grArm, pkt int) ([]*Path, error) {
 		q := p
 		if used < live {
 			q = p.Clone()
-			e.Stats.Forks++
+			e.countFork()
 		}
 		q.Grey = q.Grey.Mul(prob.FromFloat(a.pr))
 		q.GreyChoices = append(q.GreyChoices, GreyChoice{Store: a.store, Arm: a.arm, Pkt: pkt})
@@ -473,13 +477,13 @@ func (e *Engine) execTable(p *Path, t *ir.TableApply, pkt int) ([]*Path, error) 
 			continue
 		}
 		q := p.Clone()
-		e.Stats.Forks++
+		e.countFork()
 		q.PC = append(q.PC, cons...)
 		// Entries are declared disjoint across the zoo; overlapping tables
 		// would need prior-entry miss chaining here as well.
 		if !e.Opts.NoFeasibilityCheck {
 			e.Stats.FeasibilityChk++
-			if !solver.Feasible(q.PC, e.Space) {
+			if !e.timedFeasible(q.PC) {
 				q = nil
 			}
 		}
@@ -501,7 +505,7 @@ func (e *Engine) execTable(p *Path, t *ir.TableApply, pkt int) ([]*Path, error) 
 		entryVars := e.tableEntryVars(tbl, len(keyLins))
 		for i := 0; i < tbl.SymbolicEntries; i++ {
 			q := p.Clone()
-			e.Stats.Forks++
+			e.countFork()
 			for j, kl := range keyLins {
 				q.PC = append(q.PC, solver.NewCmp(ir.CmpEq, kl, solver.VarExpr(entryVars[i][j])))
 			}
@@ -533,12 +537,12 @@ func (e *Engine) execTable(p *Path, t *ir.TableApply, pkt int) ([]*Path, error) 
 				q := dp
 				if wi < len(ways)-1 {
 					q = dp.Clone()
-					e.Stats.Forks++
+					e.countFork()
 				}
 				q.PC = append(q.PC, way...)
 				if !e.Opts.NoFeasibilityCheck {
 					e.Stats.FeasibilityChk++
-					if !solver.Feasible(q.PC, e.Space) {
+					if !e.timedFeasible(q.PC) {
 						continue
 					}
 				}

@@ -1,0 +1,83 @@
+package sym
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// HotStats accumulates per-CFG-block exploration cost: how often each block
+// was entered, how many path forks it spawned, and how much solver wall
+// time its feasibility checks consumed. Slices are indexed by the dense
+// block ID and written with atomics, so one HotStats is shared by every
+// worker view of an engine without locks; visit and fork counts are
+// deterministic for a fixed seed at any worker count (solver nanoseconds
+// are wall time and vary run to run).
+//
+// A nil *HotStats is a no-op, and out-of-range IDs (the pseudo-block -1
+// used before any block is entered) are ignored.
+type HotStats struct {
+	visits []atomic.Int64
+	forks  []atomic.Int64
+	solver []atomic.Int64 // nanoseconds
+}
+
+// NewHotStats sizes accumulators for n CFG blocks.
+func NewHotStats(n int) *HotStats {
+	return &HotStats{
+		visits: make([]atomic.Int64, n),
+		forks:  make([]atomic.Int64, n),
+		solver: make([]atomic.Int64, n),
+	}
+}
+
+// Visit counts one entry into block id.
+func (h *HotStats) Visit(id int) {
+	if h == nil || id < 0 || id >= len(h.visits) {
+		return
+	}
+	h.visits[id].Add(1)
+}
+
+// Fork counts one path fork attributed to block id.
+func (h *HotStats) Fork(id int) {
+	if h == nil || id < 0 || id >= len(h.forks) {
+		return
+	}
+	h.forks[id].Add(1)
+}
+
+// AddSolver attributes solver wall time to block id.
+func (h *HotStats) AddSolver(id int, d time.Duration) {
+	if h == nil || id < 0 || id >= len(h.solver) {
+		return
+	}
+	h.solver[id].Add(int64(d))
+}
+
+// HotBlock is one block's accumulated exploration cost.
+type HotBlock struct {
+	ID       int
+	Visits   int64
+	Forks    int64
+	SolverNS int64
+}
+
+// Snapshot returns every block with nonzero accumulated cost, in ID order.
+func (h *HotStats) Snapshot() []HotBlock {
+	if h == nil {
+		return nil
+	}
+	var out []HotBlock
+	for id := range h.visits {
+		b := HotBlock{
+			ID:       id,
+			Visits:   h.visits[id].Load(),
+			Forks:    h.forks[id].Load(),
+			SolverNS: h.solver[id].Load(),
+		}
+		if b.Visits != 0 || b.Forks != 0 || b.SolverNS != 0 {
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package sym
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHotStatsNilAndBounds(t *testing.T) {
+	var h *HotStats
+	h.Visit(0) // all no-ops, must not panic
+	h.Fork(3)
+	h.AddSolver(1, time.Millisecond)
+	if got := h.Snapshot(); got != nil {
+		t.Fatalf("nil snapshot = %v, want nil", got)
+	}
+
+	hs := NewHotStats(4)
+	hs.Visit(-1) // outside [0, n): ignored
+	hs.Visit(4)
+	hs.Fork(-1)
+	hs.AddSolver(99, time.Second)
+	if got := hs.Snapshot(); len(got) != 0 {
+		t.Fatalf("out-of-range updates recorded: %v", got)
+	}
+}
+
+func TestHotStatsSnapshot(t *testing.T) {
+	hs := NewHotStats(8)
+	hs.Visit(5)
+	hs.Visit(5)
+	hs.Fork(5)
+	hs.AddSolver(5, 250*time.Microsecond)
+	hs.Visit(2)
+
+	got := hs.Snapshot()
+	if len(got) != 2 {
+		t.Fatalf("snapshot has %d blocks, want 2 (zero blocks omitted)", len(got))
+	}
+	// ID order, not magnitude order: ranking happens at report time.
+	if got[0].ID != 2 || got[1].ID != 5 {
+		t.Fatalf("snapshot not in ID order: %v", got)
+	}
+	if got[1].Visits != 2 || got[1].Forks != 1 || got[1].SolverNS != 250_000 {
+		t.Fatalf("block 5 = %+v", got[1])
+	}
+}
+
+// The accumulators are shared by engine worker views; concurrent updates
+// must not lose counts (run under -race in CI).
+func TestHotStatsConcurrent(t *testing.T) {
+	hs := NewHotStats(2)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				hs.Visit(1)
+				hs.Fork(1)
+				hs.AddSolver(1, time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	got := hs.Snapshot()
+	if len(got) != 1 || got[0].Visits != 8000 || got[0].Forks != 8000 || got[0].SolverNS != 8000 {
+		t.Fatalf("lost updates: %+v", got)
+	}
+}

@@ -4,9 +4,11 @@
 #
 #   1. the served profile is identical to the offline `p4wn profile` output
 #      (everything except run-local timing/job metadata, compared via jq);
-#   2. resubmitting is answered from the content-addressed store without a
+#   2. the /metrics exposition passes the Prometheus format lint (promlint)
+#      and /debug/trace/{id} exports a well-formed Chrome trace;
+#   3. resubmitting is answered from the content-addressed store without a
 #      second engine run (checked through /metrics counters);
-#   3. SIGTERM with a job in flight drains cleanly (exit 0) and persists
+#   4. SIGTERM with a job in flight drains cleanly (exit 0) and persists
 #      the result.
 #
 # Requires: go, curl, jq. Run from anywhere; it cds to the repo root.
@@ -31,6 +33,7 @@ fail() { echo "serve_smoke: FAIL: $*" >&2; exit 1; }
 echo "== build"
 go build -o "$WORK/p4wn" ./cmd/p4wn
 go build -o "$WORK/p4wnd" ./cmd/p4wnd
+go build -o "$WORK/promlint" ./cmd/promlint
 
 echo "== start daemon on $ADDR"
 "$WORK/p4wnd" -addr "$ADDR" -store "$WORK/store" &
@@ -63,14 +66,28 @@ jq -e '.job.id and .job.kind == "profile"' "$WORK/served.json" >/dev/null \
   || fail "served report has no job metadata block"
 echo "   served profile is identical to offline output"
 
+echo "== metrics exposition passes the Prometheus lint"
+"$WORK/promlint" "$BASE/metrics" || fail "/metrics fails the Prometheus format lint"
+
+echo "== trace export opens as Chrome trace_event JSON"
+TRACE_JOB=$(jq -r '.job.id' "$WORK/served.json")
+"$WORK/p4wn" trace -addr "$BASE" -id "$TRACE_JOB" -o "$WORK/trace.json" 2>/dev/null
+jq -e '.traceEvents | length > 0' "$WORK/trace.json" >/dev/null \
+  || fail "trace export has no events"
+jq -e '[.traceEvents[].name] | contains(["job","run","probprof"])' "$WORK/trace.json" >/dev/null \
+  || fail "trace export is missing the job/run/probprof spans"
+jq -e '.otherData.trace_id | length == 16' "$WORK/trace.json" >/dev/null \
+  || fail "trace export carries no trace_id"
+echo "   trace has job/run/probprof spans and a trace_id"
+
 echo "== resubmission is served from the store"
-runs_before=$(curl -fs "$BASE/metrics" | awk '$1 == "serve.jobs_run" {print $2}')
+runs_before=$(curl -fs "$BASE/metrics" | awk '$1 == "serve_jobs_run" {print $2}')
 "$WORK/p4wn" submit -addr "$BASE" -file "$PROG" > "$WORK/resubmit.out"
 grep -q "(cached)" "$WORK/resubmit.out" || fail "resubmission was not served as cached"
-runs_after=$(curl -fs "$BASE/metrics" | awk '$1 == "serve.jobs_run" {print $2}')
+runs_after=$(curl -fs "$BASE/metrics" | awk '$1 == "serve_jobs_run" {print $2}')
 [ "$runs_before" = "$runs_after" ] || fail "resubmission re-ran the engine ($runs_before -> $runs_after)"
-hits=$(curl -fs "$BASE/metrics" | awk '$1 == "serve.store_hits" {print $2}')
-[ "${hits:-0}" -ge 1 ] || fail "store hit not counted (serve.store_hits=$hits)"
+hits=$(curl -fs "$BASE/metrics" | awk '$1 == "serve_store_hits" {print $2}')
+[ "${hits:-0}" -ge 1 ] || fail "store hit not counted (serve_store_hits=$hits)"
 echo "   cached answer, engine runs unchanged at $runs_after"
 
 echo "== client status/result/cancel surface"
