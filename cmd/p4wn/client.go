@@ -107,11 +107,12 @@ func printStatus(st serve.JobStatus) { printStatusTo(os.Stdout, st) }
 // prints the job ID; with -follow it then streams progress and prints the
 // result JSON to stdout once the job finishes.
 func runSubmit(args []string) {
-	fs := newFlagSet("submit", "submit (-prog name | -file prog.p4w) [-target label] [-uniform] [-scale quick|default|full] [-seed n] [-priority n] [-job-timeout d] [-follow] [-addr url]")
+	fs := newFlagSet("submit", "submit (-prog name | -file prog.p4w) [-target label] [-target-model model] [-uniform] [-scale quick|default|full] [-seed n] [-priority n] [-job-timeout d] [-follow] [-addr url]")
 	addr := addrFlag(fs)
 	progName := fs.String("prog", "", "zoo program name")
 	progFile := fs.String("file", "", "mini-language source file (alternative to -prog)")
 	target := fs.String("target", "", "code-block label: submit an adversarial job")
+	targetModel := fs.String("target-model", "", "device model to run against (see `p4wn targets`)")
 	uniform := fs.Bool("uniform", false, "profile against the uniform header space")
 	scale := fs.String("scale", "", "options preset: quick, default, or full")
 	seed := fs.Int64("seed", 1, "random seed (matches `p4wn profile`'s default)")
@@ -119,13 +120,14 @@ func runSubmit(args []string) {
 	jobTimeout := fs.Duration("job-timeout", 0, "per-job wall-clock bound (0 = server default)")
 	follow := fs.Bool("follow", false, "stream progress, then print the result JSON")
 	parseFlags(fs, args)
+	mustTargetModel(fs, *targetModel)
 
 	spec := serve.JobSpec{
 		Program:    *progName,
 		Uniform:    *uniform,
 		Target:     *target,
 		Scale:      *scale,
-		Options:    core.WireOptions{Seed: *seed},
+		Options:    core.WireOptions{Seed: *seed, Target: *targetModel},
 		Priority:   *priority,
 		TimeoutSec: jobTimeout.Seconds(),
 	}

@@ -54,6 +54,7 @@ import (
 	"repro/internal/mitigate"
 	"repro/internal/obs"
 	"repro/internal/p4c"
+	"repro/internal/target"
 	"repro/internal/trace"
 )
 
@@ -77,6 +78,7 @@ func main() {
 // subcommands: one usage line on stderr, exit status 2.
 var commands = map[string]func(args []string){
 	"list":        runList,
+	"targets":     runTargets,
 	"lint":        runLint,
 	"profile":     runProfile,
 	"adversarial": runAdversarial,
@@ -90,7 +92,7 @@ var commands = map[string]func(args []string){
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: p4wn <list|lint|profile|adversarial|backtest|monitor|submit|status|result|cancel|trace> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: p4wn <list|targets|lint|profile|adversarial|backtest|monitor|submit|status|result|cancel|trace> [flags]")
 }
 
 // newFlagSet builds a subcommand flag set with the uniform error
@@ -166,6 +168,30 @@ func loadProgram(name, file string, seed int64) (*p4wn.Program, p4wn.Oracle) {
 	}
 	m := mustProgram(name)
 	return m.Build(), p4wn.TraceOracle(p4wn.GenerateTraffic(m.Workload(seed)))
+}
+
+// mustTargetModel validates a device-model name against the target
+// registry. Unknown names follow the subcommand usage contract: one error
+// line, the usage synopsis, exit status 2.
+func mustTargetModel(fs *flag.FlagSet, name string) string {
+	if _, err := target.Lookup(name); err != nil {
+		fmt.Fprintf(os.Stderr, "p4wn: %v\n", err)
+		fs.Usage()
+		os.Exit(2)
+	}
+	return name
+}
+
+// runTargets lists the device models a profile/adversarial run can execute
+// against, with each model's resource limits.
+func runTargets(args []string) {
+	fs := newFlagSet("targets", "targets")
+	parseFlags(fs, args)
+	var rows [][]string
+	for _, m := range target.All() {
+		rows = append(rows, []string{m.CanonicalName(), m.Limits(), m.Description})
+	}
+	fmt.Print(obs.Table([]string{"target", "limits", "description"}, rows))
 }
 
 func runList(args []string) {
@@ -301,10 +327,11 @@ func printLeaks(prog *p4wn.Program, res *p4wn.IFCResult) {
 }
 
 func runProfile(args []string) {
-	fs := newFlagSet("profile", "profile (-prog name | -file prog.p4w) [-uniform] [-seed n] [-workers n] [-v] [-report out.json] [-hotblocks out.pprof] [-metrics-addr host:port] [-cpuprofile f] [-memprofile f]")
+	fs := newFlagSet("profile", "profile (-prog name | -file prog.p4w) [-target model] [-uniform] [-seed n] [-workers n] [-v] [-report out.json] [-hotblocks out.pprof] [-metrics-addr host:port] [-cpuprofile f] [-memprofile f]")
 	progName := fs.String("prog", "", "program name from `p4wn list`")
 	progFile := fs.String("file", "", "mini-language source file (alternative to -prog)")
 	seed := fs.Int64("seed", 1, "random seed")
+	targetName := fs.String("target", "", "device model to profile against (see `p4wn targets`; default idealized)")
 	uniform := fs.Bool("uniform", false, "profile against the uniform header space instead of a synthetic trace")
 	workers := fs.Int("workers", 0, "profiler parallelism; 0 selects GOMAXPROCS")
 	verbose := fs.Bool("v", false, "stream per-iteration trace lines to stderr")
@@ -314,6 +341,7 @@ func runProfile(args []string) {
 	cpuProfile := fs.String("cpuprofile", "", "write a Go CPU profile to this path")
 	memProfile := fs.String("memprofile", "", "write a Go heap profile to this path")
 	parseFlags(fs, args)
+	mustTargetModel(fs, *targetName)
 
 	prog, oracle := loadProgram(*progName, *progFile, *seed)
 	if *uniform {
@@ -324,7 +352,7 @@ func runProfile(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	opt := p4wn.ProfileOptions{Seed: *seed, Workers: *workers}
+	opt := p4wn.ProfileOptions{Seed: *seed, Workers: *workers, Target: *targetName}
 	if *verbose {
 		opt.Tracer = obs.NewTracer(os.Stderr)
 	}
@@ -375,15 +403,17 @@ func runProfile(args []string) {
 }
 
 func runAdversarial(args []string) {
-	fs := newFlagSet("adversarial", "adversarial (-prog name | -file prog.p4w) -target label [-out adv.pcap] [-seed n] [-seconds n] [-pps n]")
+	fs := newFlagSet("adversarial", "adversarial (-prog name | -file prog.p4w) -target label [-target-model model] [-out adv.pcap] [-seed n] [-seconds n] [-pps n]")
 	progName := fs.String("prog", "", "program name from `p4wn list`")
 	progFile := fs.String("file", "", "mini-language source file (alternative to -prog)")
 	target := fs.String("target", "", "target code-block label")
+	targetModel := fs.String("target-model", "", "device model to generate against (see `p4wn targets`)")
 	out := fs.String("out", "", "output trace file")
 	seed := fs.Int64("seed", 1, "random seed")
 	seconds := fs.Int("seconds", 10, "amplified workload duration")
 	pps := fs.Int("pps", 1000, "amplified workload rate")
 	parseFlags(fs, args)
+	mustTargetModel(fs, *targetModel)
 
 	prog, _ := loadProgram(*progName, *progFile, *seed)
 	if *target == "" {
@@ -391,7 +421,7 @@ func runAdversarial(args []string) {
 		fs.Usage()
 		os.Exit(2)
 	}
-	adv, err := p4wn.Adversarial(prog, *target, p4wn.AdversarialOptions{Seed: *seed})
+	adv, err := p4wn.Adversarial(prog, *target, p4wn.AdversarialOptions{Seed: *seed, Target: *targetModel})
 	if err != nil {
 		fatal(err)
 	}

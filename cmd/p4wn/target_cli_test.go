@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// `p4wn targets` lists every registered device model with its limits.
+func TestTargetsSubcommand(t *testing.T) {
+	out, _, code := p4wnCmd(t, "targets")
+	if code != 0 {
+		t.Fatalf("targets exit = %d\n%s", code, out)
+	}
+	for _, want := range []string{"idealized", "tofino", "ebpf",
+		"stages<=12(drop)", "no-recirc", "none"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("targets output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Unknown device models follow the subcommand usage contract: an error
+// naming the bad target plus the known registry, the usage line, exit 2.
+func TestProfileUnknownTargetExit2(t *testing.T) {
+	_, errOut, code := p4wnCmd(t, "profile", "-prog", "counter", "-target", "bmv2")
+	if code != 2 {
+		t.Fatalf("profile -target bmv2 exit = %d, want 2\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, `unknown target "bmv2"`) ||
+		!strings.Contains(errOut, "tofino") {
+		t.Errorf("error must name the target and the registry:\n%s", errOut)
+	}
+	if !strings.Contains(errOut, "usage: p4wn profile") {
+		t.Errorf("usage synopsis missing:\n%s", errOut)
+	}
+}
+
+func TestAdversarialUnknownTargetModelExit2(t *testing.T) {
+	_, errOut, code := p4wnCmd(t, "adversarial", "-prog", "counter",
+		"-target", "guard", "-target-model", "bmv2")
+	if code != 2 {
+		t.Fatalf("adversarial -target-model bmv2 exit = %d, want 2\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, `unknown target "bmv2"`) {
+		t.Errorf("error must name the bad model:\n%s", errOut)
+	}
+}
+
+// A known target profiles end to end through the CLI.
+func TestProfileWithTargetRuns(t *testing.T) {
+	out, _, code := p4wnCmd(t, "profile", "-prog", "counter (S12)", "-target", "tofino")
+	if code != 0 {
+		t.Fatalf("profile -target tofino exit = %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "target tofino") {
+		t.Errorf("run summary must name the target:\n%s", out)
+	}
+}

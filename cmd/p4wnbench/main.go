@@ -32,6 +32,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/obs"
 	"repro/internal/p4c"
+	"repro/internal/target"
 )
 
 type experiment struct {
@@ -70,6 +71,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	reportPath := flag.String("report", "", "write the JSON bench report to this path")
 	workers := flag.Int("workers", 0, "profiler parallelism for every experiment (0 = GOMAXPROCS)")
+	targetName := flag.String("target", "", "device model every experiment runs against (idealized, tofino, ebpf)")
 	workersSweep := flag.Bool("workers-sweep", false, "run the worker-scaling sweep instead of the experiment list")
 	flag.Parse()
 
@@ -87,6 +89,11 @@ func main() {
 	}
 	cfg.Seed = *seed
 	cfg.Workers = *workers
+	if _, err := target.Lookup(*targetName); err != nil {
+		fmt.Fprintf(os.Stderr, "p4wnbench: %v\n", err)
+		os.Exit(2)
+	}
+	cfg.Target = *targetName
 
 	if *workersSweep {
 		os.Exit(runWorkersSweep(cfg, *scale, *seed, *reportPath))
@@ -99,7 +106,7 @@ func main() {
 		}
 	}
 
-	rep := obs.NewBenchReport(*scale, *seed)
+	rep := obs.NewBenchReport(*scale, *seed, cfg.Target)
 	benchStart := time.Now()
 	failed := 0
 	for _, e := range experiments {
@@ -220,7 +227,7 @@ func sweepCounts() []int {
 // rendered profile is byte-identical to the workers=1 run. Returns the
 // process exit code.
 func runWorkersSweep(cfg eval.Config, scale string, seed int64, reportPath string) int {
-	rep := obs.NewBenchReport(scale+"/workers-sweep", seed)
+	rep := obs.NewBenchReport(scale+"/workers-sweep", seed, cfg.Target)
 	rep.Metrics = map[string]float64{"gomaxprocs": float64(runtime.GOMAXPROCS(0))}
 	benchStart := time.Now()
 	counts := sweepCounts()
@@ -235,6 +242,7 @@ func runWorkersSweep(cfg eval.Config, scale string, seed int64, reportPath strin
 				SampleBudget: cfg.SampleBudget,
 				MaxIters:     cfg.ProfileMaxIters,
 				Workers:      w,
+				Target:       cfg.Target,
 			}
 			oracle := sp.oracle()
 			start := time.Now()

@@ -24,6 +24,7 @@ import (
 	"repro/internal/prob"
 	"repro/internal/solver"
 	"repro/internal/sym"
+	"repro/internal/target"
 )
 
 // solverMetricsView and greyboxMetricsView adapt the process-wide solver
@@ -72,6 +73,11 @@ type Options struct {
 
 	// Locality overrides greybox key locality.
 	Locality float64
+	// Target names the device model to profile against (see
+	// internal/target): "idealized" (the default), "tofino", or "ebpf".
+	// The model parameterizes the symbolic engine, telescoping, and the
+	// concrete sampling switch alike, so one profile describes one device.
+	Target string
 	// Seed drives sampling and Monte-Carlo determinism.
 	Seed int64
 	// Workers is the degree of parallelism for the profiler's hot loops:
@@ -122,7 +128,21 @@ func (o Options) withDefaults() Options {
 	if o.MaxPaths == 0 {
 		o.MaxPaths = 200000
 	}
+	if o.Target == "" {
+		o.Target = target.Idealized.Name
+	}
 	return o
+}
+
+// targetModel resolves the options' target name, falling back to the
+// idealized device for unknown names (ProbProf validates the name up front,
+// so internal callers never hit the fallback).
+func (o Options) targetModel() *target.Model {
+	m, err := target.Lookup(o.Target)
+	if err != nil {
+		return target.Idealized
+	}
+	return m
 }
 
 // stableRounds maps the confidence level to the number of consecutive
@@ -295,6 +315,10 @@ func (pf *Profile) Ranking() []int {
 // header space). This is the paper's main algorithm.
 func ProbProf(progIn *ir.Program, oracle dist.Oracle, optIn Options) (*Profile, error) {
 	opt := optIn.withDefaults()
+	tgt, err := target.Lookup(opt.Target)
+	if err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	if oracle == nil {
 		oracle = &dist.UniformOracle{}
@@ -369,6 +393,7 @@ func ProbProf(progIn *ir.Program, oracle dist.Oracle, optIn Options) (*Profile, 
 		Tracer:   tr,
 		Workers:  opt.Workers,
 		Pool:     pool,
+		Target:   tgt,
 	})
 	counter := mc.NewCounter(engine.Space, oracle)
 	counter.Seed = opt.Seed

@@ -17,6 +17,7 @@ func NewReport(pf *Profile, opt Options) *obs.Report {
 		SchemaVersion: obs.SchemaVersion,
 		Kind:          "profile",
 		Program:       pf.Program,
+		Target:        opt.withDefaults().Target,
 		Options:       optionsMap(opt),
 		WallSec:       pf.Stats.Duration.Seconds(),
 		Stages:        pf.Stats.Stages(),

@@ -47,7 +47,7 @@ func samplePaths(ctx context.Context, progIn *ir.Program, oracle dist.Oracle, op
 		// neighboring chunks do not walk correlated rand.Source streams.
 		rng := rand.New(rand.NewSource(opt.Seed + 1 + int64(ci)*0x5851f42d4c957f2d))
 		gen := NewPacketSampler(progIn, oracle, rng)
-		sw := dut.New(progIn, dut.Config{})
+		sw := dut.New(progIn, dut.Config{Target: opt.targetModel()})
 		visitSet := map[int]bool{}
 		sw.VisitHook = func(id int) { visitSet[id] = true }
 		counts := map[int]int{}

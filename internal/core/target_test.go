@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/programs"
+	"repro/internal/trace"
+)
+
+// profileText profiles one zoo system under a named target and returns the
+// rendered profile (the byte-stable text `p4wn profile` prints).
+func profileText(t *testing.T, sid int, tgt string, workers int) string {
+	t.Helper()
+	m, ok := programs.SID(sid)
+	if !ok {
+		t.Fatalf("zoo program S%d missing", sid)
+	}
+	prog := m.Build()
+	oracle := trace.NewQueryProcessor(trace.Generate(m.Workload(1)))
+	prof, err := ProbProf(prog, oracle, Options{
+		Seed: 1, SampleBudget: 4000, MaxIters: 6, Workers: workers, Target: tgt,
+	})
+	if err != nil {
+		t.Fatalf("S%d target=%q: %v", sid, tgt, err)
+	}
+	return prof.String()
+}
+
+// The cross-target contract: "idealized" is a strict no-op — byte-identical
+// to a run that never names a target, at any worker count — while the
+// constrained device models produce genuinely different profiles.
+func TestCrossTargetDivergence(t *testing.T) {
+	cases := []struct {
+		sid          int
+		name         string
+		tofinoDiffer bool // tofino's SRAM clamps bite this program
+		ebpfDiffer   bool // map-backed state / no-recirc bites this program
+	}{
+		{6, "netcache", true, true},
+		{7, "starflow", true, true},
+		{9, "nethcf", true, true},
+		{10, "poise", true, true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			base := profileText(t, tc.sid, "", 1)
+			for _, w := range []int{1, 2, 4} {
+				if got := profileText(t, tc.sid, "idealized", w); got != base {
+					t.Fatalf("idealized (workers=%d) drifted from the default profile:\n--- default\n%s\n--- idealized\n%s", w, base, got)
+				}
+			}
+			tofino := profileText(t, tc.sid, "tofino", 1)
+			if (tofino != base) != tc.tofinoDiffer {
+				t.Fatalf("tofino differ=%v, want %v", tofino != base, tc.tofinoDiffer)
+			}
+			ebpf := profileText(t, tc.sid, "ebpf", 1)
+			if (ebpf != base) != tc.ebpfDiffer {
+				t.Fatalf("ebpf differ=%v, want %v", ebpf != base, tc.ebpfDiffer)
+			}
+		})
+	}
+}
+
+// overBudgetProg chains more stateful operations than tofino's 12-stage
+// pipeline fits, so every packet halts mid-pass on that target.
+func overBudgetProg(t *testing.T) *ir.Program {
+	t.Helper()
+	var stmts []ir.Stmt
+	for i := 0; i < 14; i++ {
+		stmts = append(stmts, &ir.SketchUpdate{Sketch: "cnt", Key: ir.FlowKey(), Inc: ir.C(1)})
+	}
+	stmts = append(stmts, ir.Blk("deep", ir.Fwd(1)))
+	p := &ir.Program{
+		Name:     "overbudget",
+		Sketches: []ir.SketchDecl{{Name: "cnt", Rows: 2, Cols: 128}},
+		Root:     ir.Body(stmts...),
+	}
+	return p.MustBuild()
+}
+
+// A program exceeding the stage budget loses its deep blocks under tofino:
+// the pass drops at stage 13, so the trailing block's probability collapses
+// from 1 to 0 (the drop probability the constrained pipeline gains).
+func TestStageBudgetGainsDropProbability(t *testing.T) {
+	prog := overBudgetProg(t)
+	run := func(tgt string) *Profile {
+		prof, err := ProbProf(prog, nil, Options{
+			Seed: 1, MaxIters: 3, DisableSampling: true, Target: tgt,
+		})
+		if err != nil {
+			t.Fatalf("target=%q: %v", tgt, err)
+		}
+		return prof
+	}
+	ideal := run("idealized")
+	deep, ok := ideal.ByLabel("deep")
+	if !ok || deep.P.Float() < 0.99 {
+		t.Fatalf("idealized must always reach the trailing block: %+v", deep)
+	}
+	tofino := run("tofino")
+	deep, ok = tofino.ByLabel("deep")
+	if ok && !deep.P.IsZero() {
+		t.Fatalf("tofino must drop before the trailing block: %+v", deep)
+	}
+	// eBPF's 32-stage verifier bound fits the 14-op pass, so it keeps the
+	// block reachable.
+	ebpf := run("ebpf")
+	deep, ok = ebpf.ByLabel("deep")
+	if !ok || deep.P.Float() < 0.99 {
+		t.Fatalf("ebpf (32-stage bound) must still reach the block: %+v", deep)
+	}
+}
+
+// An unknown target name must fail loudly at the profiling boundary, not
+// fall back to idealized silently.
+func TestProbProfRejectsUnknownTarget(t *testing.T) {
+	prog := counterProg(t, 3)
+	_, err := ProbProf(prog, nil, Options{Seed: 1, MaxIters: 3, DisableSampling: true, Target: "bmv2"})
+	if err == nil {
+		t.Fatal("ProbProf must reject unknown targets")
+	}
+}

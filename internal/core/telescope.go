@@ -128,6 +128,7 @@ func telescope(ctx context.Context, progIn *ir.Program, oracle dist.Oracle, opt 
 		Deadline: time.Now().Add(probeBudget),
 		Ctx:      ctx,
 		Pool:     pool,
+		Target:   opt.targetModel(),
 	})
 	counter := mc.NewCounter(engine.Space, oracle)
 	counter.Seed = opt.Seed

@@ -31,6 +31,11 @@ type WireOptions struct {
 	DisablePrune     bool    `json:"disable_prune"`
 	Locality         float64 `json:"locality"`
 	Seed             int64   `json:"seed"`
+	// Target names the device model profiled against ("" normalizes to
+	// "idealized"). It is part of the wire form — and therefore of the
+	// content-addressed store key — because the same program produces a
+	// different profile per target; cached results must never mix targets.
+	Target string `json:"target"`
 }
 
 // WireFromOptions projects Options onto its wire form, dropping the
@@ -51,6 +56,7 @@ func WireFromOptions(o Options) WireOptions {
 		DisablePrune:     o.DisablePrune,
 		Locality:         o.Locality,
 		Seed:             o.Seed,
+		Target:           o.Target,
 	}
 }
 
@@ -73,6 +79,7 @@ func (w WireOptions) Options() Options {
 		DisablePrune:     w.DisablePrune,
 		Locality:         w.Locality,
 		Seed:             w.Seed,
+		Target:           w.Target,
 	}
 }
 

@@ -22,6 +22,7 @@ func TestWireOptionsRoundTrip(t *testing.T) {
 		DisableSampling:  true,
 		Locality:         0.5,
 		Seed:             17,
+		Target:           "tofino",
 	}
 	got := WireFromOptions(o).Options()
 	if got != o {
@@ -46,6 +47,15 @@ func TestWireOptionsRoundTrip(t *testing.T) {
 	want := WireFromOptions(Options{}.withDefaults())
 	if def != want {
 		t.Fatalf("zero normalization:\n got %+v\nwant %+v", def, want)
+	}
+	// The empty target spelling and the explicit default are one canonical
+	// wire form — and therefore one content address.
+	if def.Target != "idealized" {
+		t.Fatalf("normalized target = %q, want idealized", def.Target)
+	}
+	explicit := WireOptions{Target: "idealized"}.Normalized()
+	if explicit != def {
+		t.Fatalf("explicit idealized normalizes differently:\n got %+v\nwant %+v", explicit, def)
 	}
 }
 

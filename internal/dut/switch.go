@@ -14,6 +14,7 @@ import (
 	"hash/crc32"
 
 	"repro/internal/ir"
+	"repro/internal/target"
 	"repro/internal/trace"
 )
 
@@ -26,6 +27,10 @@ type Config struct {
 	// metric is the recirculation count); the limit guards any future
 	// program that loops on Recirculate.
 	RecircLimit int
+	// Target is the device model the switch enforces — the same limits and
+	// semantics the symbolic engine assumes, so concrete replays and
+	// profiles describe the same machine. Nil is the idealized switch.
+	Target *target.Model
 }
 
 func (c Config) withDefaults() Config {
@@ -61,6 +66,9 @@ type htEntry struct {
 type hashTable struct {
 	seed  uint32
 	slots []htEntry
+	// exact backs the table with a real key-value map instead of hashed
+	// slots (map-backed targets: lookups never collide).
+	exact map[string]*htEntry
 }
 
 type bloomFilter struct {
@@ -101,6 +109,10 @@ type Switch struct {
 	VisitHook func(nodeID int)
 
 	processed uint64
+	// stages counts the current packet's stateful operations; overflowed
+	// halts the pass once the target's stage budget is exhausted.
+	stages     int
+	overflowed bool
 }
 
 // New builds a switch for a program.
@@ -117,17 +129,23 @@ func New(prog *ir.Program, cfg Config) *Switch {
 	for _, r := range prog.Regs {
 		s.regs[r.Name] = r.Init
 	}
+	tgt := s.Cfg.Target
 	for _, a := range prog.RegArrays {
-		s.arrays[a.Name] = make([]uint64, a.Size)
+		s.arrays[a.Name] = make([]uint64, tgt.ClampArrayCells(a.Size))
 	}
 	for _, h := range prog.HashTables {
-		s.tables[h.Name] = &hashTable{seed: h.Seed, slots: make([]htEntry, h.Size)}
+		ht := &hashTable{seed: h.Seed, slots: make([]htEntry, tgt.ClampHashSlots(h.Size))}
+		if tgt.Exact() {
+			ht.exact = map[string]*htEntry{}
+		}
+		s.tables[h.Name] = ht
 	}
 	for _, b := range prog.Blooms {
-		s.blooms[b.Name] = &bloomFilter{bits: make([]bool, b.Bits), hashes: b.Hashes}
+		s.blooms[b.Name] = &bloomFilter{bits: make([]bool, tgt.ClampBloomBits(b.Bits)), hashes: b.Hashes}
 	}
 	for _, sk := range prog.Sketches {
-		s.sketches[sk.Name] = &cmSketch{rows: sk.Rows, cols: sk.Cols, counters: make([]uint64, sk.Rows*sk.Cols)}
+		cols := tgt.ClampSketchCols(sk.Cols)
+		s.sketches[sk.Name] = &cmSketch{rows: sk.Rows, cols: cols, counters: make([]uint64, sk.Rows*cols)}
 	}
 	return s
 }
@@ -142,13 +160,36 @@ func (s *Switch) Processed() uint64 { return s.processed }
 func (s *Switch) Process(p *trace.Packet) Result {
 	s.processed++
 	s.meta = map[string]uint64{}
+	s.stages = 0
+	s.overflowed = false
 	var res Result
 	s.exec(s.Prog.Root, p, &res, 0)
 	return res
 }
 
+// stageOK charges one pipeline stage for a stateful operation when the
+// target sets a stage budget; over budget the packet takes the target's
+// overflow action and the pass halts (mirroring sym.Engine.stageOK).
+func (s *Switch) stageOK(res *Result) bool {
+	limit := s.Cfg.Target.StageLimit()
+	if limit <= 0 {
+		return true
+	}
+	if s.stages < limit {
+		s.stages++
+		return true
+	}
+	s.overflowed = true
+	if s.Cfg.Target.Overflow() == target.OverflowPunt {
+		res.CPUPunts++
+	} else {
+		res.Dropped = true
+	}
+	return false
+}
+
 func (s *Switch) exec(st ir.Stmt, p *trace.Packet, res *Result, depth int) {
-	if st == nil || res.Dropped {
+	if st == nil || res.Dropped || s.overflowed {
 		return
 	}
 	switch t := st.(type) {
@@ -179,27 +220,43 @@ func (s *Switch) exec(st ir.Stmt, p *trace.Packet, res *Result, depth int) {
 	case *ir.Action:
 		s.act(t, p, res)
 	case *ir.HashAccess:
-		s.hashAccess(t, p, res, depth)
+		if s.stageOK(res) {
+			s.hashAccess(t, p, res, depth)
+		}
 	case *ir.BloomOp:
-		s.bloomOp(t, p, res, depth)
+		if s.stageOK(res) {
+			s.bloomOp(t, p, res, depth)
+		}
 	case *ir.SketchUpdate:
-		s.sketchUpdate(t, p)
+		if s.stageOK(res) {
+			s.sketchUpdate(t, p)
+		}
 	case *ir.SketchBranch:
-		s.sketchBranch(t, p, res, depth)
+		if s.stageOK(res) {
+			s.sketchBranch(t, p, res, depth)
+		}
 	case *ir.ArrayRead:
+		if !s.stageOK(res) {
+			return
+		}
 		arr := s.arrays[t.Array]
 		idx := s.eval(t.Index, p)
 		if int(idx) < len(arr) {
 			s.meta[t.Dest] = arr[idx]
 		}
 	case *ir.ArrayWrite:
+		if !s.stageOK(res) {
+			return
+		}
 		arr := s.arrays[t.Array]
 		idx := s.eval(t.Index, p)
 		if int(idx) < len(arr) {
 			arr[idx] = s.eval(t.Value, p)
 		}
 	case *ir.TableApply:
-		s.applyTable(t, p, res, depth)
+		if s.stageOK(res) {
+			s.applyTable(t, p, res, depth)
+		}
 	}
 }
 
@@ -217,6 +274,11 @@ func (s *Switch) act(a *ir.Action, p *trace.Packet, res *Result) {
 	case ir.ActDigest:
 		res.Digests++
 	case ir.ActRecirculate:
+		if !s.Cfg.Target.Recirculates() {
+			// No recirculation path on this target: punt to the CPU instead.
+			res.CPUPunts++
+			break
+		}
 		res.Recircs++
 	case ir.ActMirror:
 		res.Mirrors++
@@ -235,12 +297,16 @@ func (s *Switch) hashAccess(h *ir.HashAccess, p *trace.Packet, res *Result, dept
 	for i, k := range h.Key {
 		key[i] = s.eval(k, p)
 	}
-	idx := HashOf(ht.seed, key, uint64(len(ht.slots)))
-	slot := &ht.slots[idx]
 	wv := uint64(0)
 	if h.Value != nil {
 		wv = s.eval(h.Value, p)
 	}
+	if ht.exact != nil {
+		s.hashAccessExact(ht, h, key, wv, p, res, depth)
+		return
+	}
+	idx := HashOf(ht.seed, key, uint64(len(ht.slots)))
+	slot := &ht.slots[idx]
 	switch {
 	case !slot.occupied:
 		if h.Write {
@@ -283,6 +349,51 @@ func (s *Switch) hashAccess(h *ir.HashAccess, p *trace.Packet, res *Result, dept
 		}
 		s.exec(h.OnCollide, p, res, depth)
 	}
+}
+
+// hashAccessExact is the map-backed (ExactState) variant of hashAccess:
+// lookups are keyed by the full key, so the collision arm never executes —
+// an unseen key takes the empty arm, a seen key always hits.
+func (s *Switch) hashAccessExact(ht *hashTable, h *ir.HashAccess, key []uint64, wv uint64, p *trace.Packet, res *Result, depth int) {
+	fp := keyFP(key)
+	slot, ok := ht.exact[fp]
+	if !ok {
+		if h.Write {
+			ht.exact[fp] = &htEntry{occupied: true, key: key, val: wv}
+			if h.Dest != "" {
+				s.meta[h.Dest] = wv
+			}
+		} else if h.Dest != "" {
+			s.meta[h.Dest] = 0
+		}
+		s.exec(h.OnEmpty, p, res, depth)
+		return
+	}
+	old := slot.val
+	if h.Write {
+		if h.Inc {
+			slot.val += wv
+		} else {
+			slot.val = wv
+		}
+	}
+	if h.Dest != "" {
+		if h.Write && h.Inc {
+			s.meta[h.Dest] = slot.val
+		} else {
+			s.meta[h.Dest] = old
+		}
+	}
+	s.exec(h.OnHit, p, res, depth)
+}
+
+// keyFP fingerprints a full key for the exact-map backing store.
+func keyFP(key []uint64) string {
+	buf := make([]byte, 8*len(key))
+	for i, v := range key {
+		binary.LittleEndian.PutUint64(buf[i*8:], v)
+	}
+	return string(buf)
 }
 
 func keysEqual(a, b []uint64) bool {
@@ -379,7 +490,11 @@ func (s *Switch) applyTable(t *ir.TableApply, p *trace.Packet, res *Result, dept
 	for i, k := range tbl.Keys {
 		keys[i] = s.eval(k, p)
 	}
-	for _, e := range tbl.Entries {
+	entries := tbl.Entries
+	if n := s.Cfg.Target.ClampTableEntries(len(entries)); n < len(entries) {
+		entries = entries[:n]
+	}
+	for _, e := range entries {
 		if matchEntry(e.Match, keys) {
 			s.exec(e.Action, p, res, depth)
 			return

@@ -45,6 +45,11 @@ type Config struct {
 	// Workers is the profiler's degree of parallelism (<= 0 selects
 	// GOMAXPROCS); results are bit-identical for every worker count.
 	Workers int
+	// Target names the device model every experiment profiles against
+	// ("idealized" when empty; "tofino", "ebpf"). Bench rows produced
+	// under different targets are not comparable, so the bench report
+	// carries the target alongside the scale.
+	Target string
 }
 
 // DefaultConfig returns laptop-scale parameters.
@@ -118,6 +123,7 @@ func (c Config) profileOptions() core.Options {
 		SampleBudget: c.SampleBudget,
 		MaxIters:     c.ProfileMaxIters,
 		Workers:      c.Workers,
+		Target:       c.Target,
 	}
 }
 

@@ -186,13 +186,15 @@ func TestHistogramQuantiles(t *testing.T) {
 }
 
 // goldenReport is a fixed report exercising every schema field; the golden
-// file locks the v4 JSON shape (key names, nesting, clamping, the job
-// metadata block with trace_id, the ifc leak summary, the hot-block table).
+// file locks the v5 JSON shape (key names, nesting, clamping, the job
+// metadata block with trace_id, the target field, the ifc leak summary,
+// the hot-block table).
 func goldenReport() *Report {
 	return &Report{
 		SchemaVersion: SchemaVersion,
 		Kind:          "profile",
 		Program:       "counter",
+		Target:        "idealized",
 		Options:       map[string]any{"max_iters": 8, "seed": 1},
 		Job: &JobMeta{
 			ID:          "9c2f4e8a1b3d5c7e9c2f4e8a1b3d5c7e9c2f4e8a1b3d5c7e9c2f4e8a1b3d5c7e",
@@ -250,7 +252,7 @@ func TestReportGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	data = append(data, '\n')
-	golden := filepath.Join("testdata", "report_v4.json")
+	golden := filepath.Join("testdata", "report_v5.json")
 	if os.Getenv("UPDATE_GOLDEN") != "" {
 		if err := os.WriteFile(golden, data, 0o644); err != nil {
 			t.Fatal(err)
@@ -349,7 +351,7 @@ func TestReportSummary(t *testing.T) {
 }
 
 func TestBenchReportSummary(t *testing.T) {
-	r := NewBenchReport("quick", 1)
+	r := NewBenchReport("quick", 1, "")
 	r.Experiments = []ExperimentResult{
 		{Name: "fig7", Seconds: 1.5, OK: true},
 		{Name: "fig8", Seconds: 0.2, OK: false, Error: "boom"},
@@ -360,6 +362,12 @@ func TestBenchReportSummary(t *testing.T) {
 	}
 	if r.SchemaVersion != SchemaVersion || r.Kind != "bench" {
 		t.Fatalf("bench header: %+v", r)
+	}
+	if r.Target != "idealized" || !strings.Contains(s, "target idealized") {
+		t.Fatalf("bench target defaulting: %+v\n%s", r, s)
+	}
+	if tr := NewBenchReport("quick", 1, "tofino"); tr.Target != "tofino" {
+		t.Fatalf("bench target = %q, want tofino", tr.Target)
 	}
 }
 

@@ -18,7 +18,9 @@ import (
 // Report.
 // v4 added the optional "hot_blocks" block (per-CFG-block exploration cost)
 // and the job block's "trace_id" field.
-const SchemaVersion = 4
+// v5 added the top-level "target" field to Report and BenchReport: the
+// device model (idealized/tofino/ebpf) the run was executed against.
+const SchemaVersion = 5
 
 // Report is the versioned machine-readable artifact of one profiling run:
 // what was profiled, with which options, how the estimate converged, where
@@ -28,7 +30,11 @@ type Report struct {
 	SchemaVersion int    `json:"schema_version"`
 	Kind          string `json:"kind"` // "profile"
 	Program       string `json:"program"`
-	GeneratedAt   string `json:"generated_at,omitempty"` // RFC3339; empty in golden tests
+	// Target is the device model the profile describes ("idealized",
+	// "tofino", "ebpf"): the same program yields a different profile per
+	// target, so every report names the one that produced it (schema v5).
+	Target      string `json:"target"`
+	GeneratedAt string `json:"generated_at,omitempty"` // RFC3339; empty in golden tests
 
 	Options map[string]any `json:"options,omitempty"`
 
@@ -164,8 +170,8 @@ const minLog10 = -1e9
 // single renderer behind `p4wn profile` and the p4wnbench summaries.
 func (r *Report) Summary() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "run: %s  wall %.3fs  converged=%v  coverage %.0f%%  iterations %d\n",
-		r.Program, r.WallSec, r.Converged, r.Coverage*100, len(r.Iterations))
+	fmt.Fprintf(&b, "run: %s  target %s  wall %.3fs  converged=%v  coverage %.0f%%  iterations %d\n",
+		r.Program, r.targetName(), r.WallSec, r.Converged, r.Coverage*100, len(r.Iterations))
 
 	if len(r.Stages) > 0 {
 		names := make([]string, 0, len(r.Stages))
@@ -236,6 +242,15 @@ func (r *Report) Summary() string {
 	return b.String()
 }
 
+// targetName spells out the report's target, defaulting the empty string
+// of pre-v5 reports to "idealized" for display.
+func (r *Report) targetName() string {
+	if r.Target == "" {
+		return "idealized"
+	}
+	return r.Target
+}
+
 // ExperimentResult is one p4wnbench experiment's outcome.
 type ExperimentResult struct {
 	Name    string  `json:"name"`
@@ -247,18 +262,26 @@ type ExperimentResult struct {
 // BenchReport is the machine-readable artifact of one p4wnbench invocation
 // (kind "bench"): per-experiment wall times CI uploads as BENCH_<date>.json.
 type BenchReport struct {
-	SchemaVersion int                `json:"schema_version"`
-	Kind          string             `json:"kind"` // "bench"
-	GeneratedAt   string             `json:"generated_at,omitempty"`
-	Scale         string             `json:"scale"`
-	Seed          int64              `json:"seed"`
-	Experiments   []ExperimentResult `json:"experiments"`
-	Metrics       map[string]float64 `json:"metrics,omitempty"`
+	SchemaVersion int    `json:"schema_version"`
+	Kind          string `json:"kind"` // "bench"
+	GeneratedAt   string `json:"generated_at,omitempty"`
+	Scale         string `json:"scale"`
+	// Target labels which device model every experiment ran against
+	// (schema v5), so BENCH_*.json rows are comparable across runs only
+	// when their targets match.
+	Target      string             `json:"target"`
+	Seed        int64              `json:"seed"`
+	Experiments []ExperimentResult `json:"experiments"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
-// NewBenchReport builds an empty bench report at the current schema version.
-func NewBenchReport(scale string, seed int64) *BenchReport {
-	return &BenchReport{SchemaVersion: SchemaVersion, Kind: "bench", Scale: scale, Seed: seed}
+// NewBenchReport builds an empty bench report at the current schema version;
+// target "" is recorded as "idealized".
+func NewBenchReport(scale string, seed int64, target string) *BenchReport {
+	if target == "" {
+		target = "idealized"
+	}
+	return &BenchReport{SchemaVersion: SchemaVersion, Kind: "bench", Scale: scale, Target: target, Seed: seed}
 }
 
 // Summary renders the per-experiment timing table.
@@ -271,7 +294,11 @@ func (r *BenchReport) Summary() string {
 		}
 		rows = append(rows, []string{e.Name, fmt.Sprintf("%.3f", e.Seconds), status})
 	}
-	return fmt.Sprintf("bench report (scale %s, seed %d)\n", r.Scale, r.Seed) +
+	tgt := r.Target
+	if tgt == "" {
+		tgt = "idealized"
+	}
+	return fmt.Sprintf("bench report (scale %s, target %s, seed %d)\n", r.Scale, tgt, r.Seed) +
 		Table([]string{"experiment", "sec", "status"}, rows)
 }
 

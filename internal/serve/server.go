@@ -498,8 +498,9 @@ func (s *Server) runAdversarial(ctx context.Context, j *Job, prog *ir.Program) (
 		return nil, fmt.Errorf("program %q has no block labeled %q", prog.Name, j.Spec.Target)
 	}
 	adv, err := testgen.Generate(prog, node.ID, testgen.Options{
-		Seed: j.Spec.Options.Seed,
-		Ctx:  ctx,
+		Seed:   j.Spec.Options.Seed,
+		Ctx:    ctx,
+		Target: j.Spec.Options.Target,
 	})
 	if err != nil {
 		return nil, err

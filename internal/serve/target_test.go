@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Two submissions that differ only in the device target compute different
+// answers, so they must occupy distinct content-addressed cache entries.
+func TestTargetDistinguishesStoreKey(t *testing.T) {
+	base := JobSpec{Kind: KindProfile, Program: "counter (S12)"}
+	ids := map[string]string{}
+	for _, tgt := range []string{"idealized", "tofino", "ebpf"} {
+		spec := base
+		spec.Options.Target = tgt
+		norm, err := spec.normalize()
+		if err != nil {
+			t.Fatalf("normalize(target=%q): %v", tgt, err)
+		}
+		ids[tgt] = norm.id()
+	}
+	if ids["idealized"] == ids["tofino"] || ids["idealized"] == ids["ebpf"] ||
+		ids["tofino"] == ids["ebpf"] {
+		t.Fatalf("targets must fingerprint distinctly: %v", ids)
+	}
+
+	// The omitted spelling and the explicit default share one entry.
+	implicit, err := base.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if implicit.id() != ids["idealized"] {
+		t.Fatalf("default target must share the idealized cache entry:\n %s\n %s",
+			implicit.id(), ids["idealized"])
+	}
+}
+
+func TestNormalizeRejectsUnknownTarget(t *testing.T) {
+	spec := JobSpec{Kind: KindProfile, Program: "counter (S12)",
+		Options: core.WireOptions{Target: "bmv2"}}
+	if _, err := spec.normalize(); err == nil || !strings.Contains(err.Error(), "bmv2") {
+		t.Fatalf("unknown target must be rejected at submission, got %v", err)
+	}
+}
+
+// A scale preset fixes every profiling knob except the device target, which
+// is orthogonal and may ride along; any other explicit knob still conflicts.
+func TestScaleAllowsTargetOption(t *testing.T) {
+	spec := JobSpec{Kind: KindProfile, Program: "counter (S12)", Scale: "quick",
+		Options: core.WireOptions{Target: "tofino"}}
+	norm, err := spec.normalize()
+	if err != nil {
+		t.Fatalf("scale+target must normalize: %v", err)
+	}
+	if norm.Options.Target != "tofino" {
+		t.Fatalf("target lost through preset expansion: %+v", norm.Options)
+	}
+
+	conflict := JobSpec{Kind: KindProfile, Program: "counter (S12)", Scale: "quick",
+		Options: core.WireOptions{Target: "tofino", MaxIters: 3}}
+	if _, err := conflict.normalize(); err == nil {
+		t.Fatal("scale plus a non-target option must still conflict")
+	}
+}

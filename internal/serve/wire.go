@@ -17,6 +17,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/obs"
 	"repro/internal/programs"
+	"repro/internal/target"
 	"repro/internal/testgen"
 	"repro/internal/trace"
 )
@@ -83,14 +84,23 @@ func (s JobSpec) normalize() (JobSpec, error) {
 	if s.Kind == KindProfile && s.Target != "" {
 		return s, fmt.Errorf("target is only meaningful for adversarial jobs")
 	}
+	if _, err := target.Lookup(s.Options.Target); err != nil {
+		return s, err
+	}
 	if s.Scale != "" {
-		if s.Options != (core.WireOptions{}) {
+		// The device-target choice is orthogonal to the scale preset, so
+		// options.target may accompany scale; any other options knob still
+		// conflicts with a preset.
+		rest := s.Options
+		rest.Target = ""
+		if rest != (core.WireOptions{}) {
 			return s, fmt.Errorf("scale and options are mutually exclusive")
 		}
 		cfg, ok := eval.Preset(s.Scale)
 		if !ok {
 			return s, fmt.Errorf("unknown scale %q (quick, default, full)", s.Scale)
 		}
+		cfg.Target = s.Options.Target
 		s.Options = core.WireFromOptions(cfg.ProfileOptions())
 		s.Scale = ""
 	}

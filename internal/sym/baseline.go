@@ -35,11 +35,12 @@ func (e *Engine) materialize(p *Path, key string, size int) {
 
 func (e *Engine) execHashBaseline(p *Path, h *ir.HashAccess, pkt int) ([]*Path, error) {
 	decl, _ := e.Prog.HashTable(h.Store)
+	size := e.Opts.Target.ClampHashSlots(decl.Size)
 	arrKey := "__ht_" + h.Store
-	e.materialize(p, arrKey, decl.Size)
+	e.materialize(p, arrKey, size)
 
 	// The CRC index is a fresh symbolic variable over the slot range.
-	idxVal := e.havoc(pkt, solver.Interval{Lo: 0, Hi: uint64(decl.Size - 1)})
+	idxVal := e.havoc(pkt, solver.Interval{Lo: 0, Hi: uint64(size - 1)})
 	idxVar, _ := singleVar(idxVal)
 
 	keyLins := make([]solver.LinExpr, 0, len(h.Key))
@@ -57,7 +58,7 @@ func (e *Engine) execHashBaseline(p *Path, h *ir.HashAccess, pkt int) ([]*Path, 
 	for _, w := range writes {
 		q := p.Clone()
 		e.countFork()
-		e.Stats.ArrayBytes += decl.Size * 16 // cloned array state
+		e.Stats.ArrayBytes += size * 16 // cloned array state
 		q.PC = append(q.PC, solver.NewCmp(ir.CmpEq, solver.VarExpr(idxVar), solver.VarExpr(w.IdxVar)))
 		if !e.feasible(q) {
 			continue
@@ -65,7 +66,7 @@ func (e *Engine) execHashBaseline(p *Path, h *ir.HashAccess, pkt int) ([]*Path, 
 		// Same slot: same key (hit) or different key (collision).
 		hitQ := q.Clone()
 		e.countFork()
-		e.Stats.ArrayBytes += decl.Size * 16
+		e.Stats.ArrayBytes += size * 16
 		for i := range keyLins {
 			if i < len(w.Keys) {
 				hitQ.PC = append(hitQ.PC, solver.NewCmp(ir.CmpEq, keyLins[i], w.Keys[i]))
@@ -138,14 +139,15 @@ func (e *Engine) feasible(p *Path) bool {
 
 func (e *Engine) execBloomBaseline(p *Path, b *ir.BloomOp, pkt int) ([]*Path, error) {
 	decl, _ := e.Prog.Bloom(b.Filter)
+	bits := e.Opts.Target.ClampBloomBits(decl.Bits)
 	arrKey := "__bf_" + b.Filter
-	e.materialize(p, arrKey, decl.Bits)
+	e.materialize(p, arrKey, bits)
 
 	// Each of the k probed bits is an unconstrained symbolic read; the
 	// membership outcome forks qualitatively (the baseline cannot weight).
 	hitQ := p.Clone()
 	e.countFork()
-	e.Stats.ArrayBytes += decl.Bits * 16
+	e.Stats.ArrayBytes += bits * 16
 	missQ := p
 	var out []*Path
 	nps, err := e.exec(hitQ, b.OnHit, pkt)
@@ -162,7 +164,8 @@ func (e *Engine) execBloomBaseline(p *Path, b *ir.BloomOp, pkt int) ([]*Path, er
 
 func (e *Engine) execSketchUpdateBaseline(p *Path, s *ir.SketchUpdate, pkt int) ([]*Path, error) {
 	decl, _ := e.Prog.Sketch(s.Sketch)
-	e.materialize(p, "__cms_"+s.Sketch, decl.Rows*decl.Cols)
+	cols := e.Opts.Target.ClampSketchCols(decl.Cols)
+	e.materialize(p, "__cms_"+s.Sketch, decl.Rows*cols)
 	// Each row's counter read/update goes through a symbolic index; the
 	// estimate is a fresh unknown. Fork per row over aliasing with prior
 	// updates (approximated as one fork per prior update, as for tables).
@@ -171,12 +174,12 @@ func (e *Engine) execSketchUpdateBaseline(p *Path, s *ir.SketchUpdate, pkt int) 
 	}
 	writes := p.BWrites["__cms_"+s.Sketch]
 	var out []*Path
-	idxVal := e.havoc(pkt, solver.Interval{Lo: 0, Hi: uint64(decl.Cols - 1)})
+	idxVal := e.havoc(pkt, solver.Interval{Lo: 0, Hi: uint64(cols - 1)})
 	idxVar, _ := singleVar(idxVal)
 	for _, w := range writes {
 		q := p.Clone()
 		e.countFork()
-		e.Stats.ArrayBytes += decl.Rows * decl.Cols * 16
+		e.Stats.ArrayBytes += decl.Rows * cols * 16
 		q.PC = append(q.PC, solver.NewCmp(ir.CmpEq, solver.VarExpr(idxVar), solver.VarExpr(w.IdxVar)))
 		if e.feasible(q) {
 			out = append(out, q)
@@ -197,14 +200,15 @@ func (e *Engine) execSketchUpdateBaseline(p *Path, s *ir.SketchUpdate, pkt int) 
 
 func (e *Engine) execSketchBranchBaseline(p *Path, s *ir.SketchBranch, pkt int) ([]*Path, error) {
 	decl, _ := e.Prog.Sketch(s.Sketch)
-	e.materialize(p, "__cms_"+s.Sketch, decl.Rows*decl.Cols)
+	cols := e.Opts.Target.ClampSketchCols(decl.Cols)
+	e.materialize(p, "__cms_"+s.Sketch, decl.Rows*cols)
 	est := e.havoc(pkt, solver.FullInterval(32))
 	el, _ := est.Lin()
 	con := solver.NewCmp(s.Op, el, solver.ConstExpr(int64(s.Threshold)))
 
 	tq := p.Clone()
 	e.countFork()
-	e.Stats.ArrayBytes += decl.Rows * decl.Cols * 16
+	e.Stats.ArrayBytes += decl.Rows * cols * 16
 	tq.PC = append(tq.PC, con)
 	fq := p
 	fq.PC = append(fq.PC, con.Negate())

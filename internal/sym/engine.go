@@ -15,6 +15,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/prob"
 	"repro/internal/solver"
+	"repro/internal/target"
 )
 
 // ErrBudget is returned when exploration exceeds the path budget or
@@ -65,6 +66,11 @@ type Options struct {
 	// count: each input path executes in an isolated task and results are
 	// concatenated in input order.
 	Workers int
+	// Target is the device model the engine executes against: resource
+	// clamps on data-store sizes, a per-pass stage budget, recirculation
+	// and collision semantics. Nil (and target.Idealized) is the
+	// unconstrained switch, bit-for-bit identical to the pre-target engine.
+	Target *target.Model
 	// Pool overrides the engine's worker pool, letting the profiler share
 	// one pool (and its utilization metrics) across exploration, counting,
 	// and sampling. Nil means the engine builds its own from Workers.

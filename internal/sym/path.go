@@ -112,6 +112,12 @@ type Path struct {
 	// optimization: further packets still execute, but the current
 	// packet's processing halted).
 	halted bool
+
+	// Stages counts stateful operations executed by the current packet's
+	// pass. It is only advanced when the engine's target sets a stage
+	// budget, so idealized runs never touch it (and merge keys are
+	// unchanged).
+	Stages int
 }
 
 // NewPath returns the initial empty-state path for a program.
@@ -152,6 +158,7 @@ func (p *Path) Clone() *Path {
 		Havocs:      append([]HavocRecord(nil), p.Havocs...),
 		GreyChoices: append([]GreyChoice(nil), p.GreyChoices...),
 		halted:      p.halted,
+		Stages:      p.Stages,
 	}
 	for k, v := range p.Regs {
 		q.Regs[k] = v
@@ -192,6 +199,7 @@ func (p *Path) resetPacket() {
 	p.Meta = map[string]Value{}
 	p.Visits = map[int]bool{}
 	p.halted = false
+	p.Stages = 0
 }
 
 // StateMergeable reports whether the path's persistent state is fully

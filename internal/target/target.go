@@ -1,0 +1,281 @@
+// Package target defines pluggable device models for the symbolic engine
+// and the concrete switch (P4Testgen-style: one symbolic core, many target
+// backends). A Model captures everything that used to be hardcoded about
+// the device — resource limits (table capacity, register/store sizes),
+// stage/pipeline structure (how many stateful applies fit in one pass,
+// whether recirculation exists), extern behavior (hash collision
+// semantics), and drop/punt semantics — so the same program yields a
+// different probability profile per target.
+//
+// The zero value of Model is the idealized device: no limits, exact
+// recirculation, the paper's semantics. Every accessor is nil-receiver
+// safe and treats a zero field as "unlimited", so threading a *Model
+// through the engine is free for the idealized path: nil and
+// target.Idealized behave bit-for-bit identically to the pre-target code.
+package target
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Overflow says what happens to a packet whose pass exceeds the target's
+// stage budget.
+type Overflow int
+
+const (
+	// OverflowDrop drops the packet at the stage limit (Tofino-like: the
+	// program simply does not fit and truncated passes are discarded).
+	OverflowDrop Overflow = iota
+	// OverflowPunt sends the packet to the CPU at the stage limit
+	// (eBPF-like: the verifier bound trips and the kernel path takes over).
+	OverflowPunt
+)
+
+func (o Overflow) String() string {
+	if o == OverflowPunt {
+		return "punt"
+	}
+	return "drop"
+}
+
+// Model is one device target. All limits use 0 for "unlimited"; the zero
+// value is the idealized switch.
+type Model struct {
+	// Name is the registry key ("idealized", "tofino", "ebpf").
+	Name string
+	// Description is the one-line summary `p4wn targets` prints.
+	Description string
+
+	// MaxStages bounds how many stateful operations (hash/bloom/sketch
+	// accesses, register array reads/writes, table applies) one packet
+	// pass may execute; 0 is unlimited. A pass that would exceed it stops
+	// and the packet takes the OnOverflow action.
+	MaxStages int
+	// OnOverflow is the fate of a packet that exceeds MaxStages.
+	OnOverflow Overflow
+	// NoRecirc disables recirculation: recirculate actions become CPU
+	// punts (the packet leaves the fast path instead of looping).
+	NoRecirc bool
+
+	// MaxTableEntries caps match-action table capacity; entries past the
+	// cap are not installed (lookups that would hit them take the miss
+	// path). 0 is unlimited.
+	MaxTableEntries int
+	// MaxHashSlots caps hash-table register storage (slots per table).
+	MaxHashSlots int
+	// MaxBloomBits caps Bloom filter bit-array width.
+	MaxBloomBits int
+	// MaxSketchCols caps count-min sketch column count per row.
+	MaxSketchCols int
+	// MaxArrayCells caps plain register array length.
+	MaxArrayCells int
+
+	// ExactState models map-backed state (eBPF hash maps): keyed lookups
+	// are exact, so the hash-collision arm disappears and its probability
+	// mass folds into the empty arm.
+	ExactState bool
+}
+
+// clamp bounds n by limit when a limit is set; n is always kept >= 1 so a
+// clamped structure stays usable.
+func clamp(n, limit int) int {
+	if limit > 0 && n > limit {
+		n = limit
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// StageLimit returns the stage budget, 0 when unlimited (or nil model).
+func (m *Model) StageLimit() int {
+	if m == nil {
+		return 0
+	}
+	return m.MaxStages
+}
+
+// Overflow returns the over-budget action (drop for nil models).
+func (m *Model) Overflow() Overflow {
+	if m == nil {
+		return OverflowDrop
+	}
+	return m.OnOverflow
+}
+
+// Recirculates reports whether the target supports recirculation.
+func (m *Model) Recirculates() bool { return m == nil || !m.NoRecirc }
+
+// Exact reports whether keyed state is exact (no hash-collision arm).
+func (m *Model) Exact() bool { return m != nil && m.ExactState }
+
+// ClampHashSlots bounds a hash table's slot count to the target.
+func (m *Model) ClampHashSlots(n int) int {
+	if m == nil {
+		return n
+	}
+	return clamp(n, m.MaxHashSlots)
+}
+
+// ClampBloomBits bounds a Bloom filter's bit width to the target.
+func (m *Model) ClampBloomBits(n int) int {
+	if m == nil {
+		return n
+	}
+	return clamp(n, m.MaxBloomBits)
+}
+
+// ClampSketchCols bounds a sketch's per-row column count to the target.
+func (m *Model) ClampSketchCols(n int) int {
+	if m == nil {
+		return n
+	}
+	return clamp(n, m.MaxSketchCols)
+}
+
+// ClampArrayCells bounds a register array's length to the target.
+func (m *Model) ClampArrayCells(n int) int {
+	if m == nil {
+		return n
+	}
+	return clamp(n, m.MaxArrayCells)
+}
+
+// ClampTableEntries bounds how many of a table's entries are installed.
+func (m *Model) ClampTableEntries(n int) int {
+	if m == nil || m.MaxTableEntries <= 0 || n <= m.MaxTableEntries {
+		return n
+	}
+	return m.MaxTableEntries
+}
+
+// IsIdealized reports whether the model imposes no constraints at all (nil
+// or the zero-limits model): the engine's idealized fast path.
+func (m *Model) IsIdealized() bool {
+	return m == nil || (m.MaxStages == 0 && !m.NoRecirc && !m.ExactState &&
+		m.MaxTableEntries == 0 && m.MaxHashSlots == 0 && m.MaxBloomBits == 0 &&
+		m.MaxSketchCols == 0 && m.MaxArrayCells == 0)
+}
+
+// CanonicalName returns the registry name, "idealized" for nil/unnamed
+// models (the spelling reports and store fingerprints use).
+func (m *Model) CanonicalName() string {
+	if m == nil || m.Name == "" {
+		return "idealized"
+	}
+	return m.Name
+}
+
+// Limits renders the model's constraint set as a short human-readable
+// string for `p4wn targets` ("none" for the idealized target).
+func (m *Model) Limits() string {
+	if m.IsIdealized() {
+		return "none"
+	}
+	var parts []string
+	if m.MaxStages > 0 {
+		parts = append(parts, fmt.Sprintf("stages<=%d(%s)", m.MaxStages, m.OnOverflow))
+	}
+	if m.NoRecirc {
+		parts = append(parts, "no-recirc")
+	}
+	if m.ExactState {
+		parts = append(parts, "exact-state")
+	}
+	if m.MaxTableEntries > 0 {
+		parts = append(parts, fmt.Sprintf("table<=%d", m.MaxTableEntries))
+	}
+	if m.MaxHashSlots > 0 {
+		parts = append(parts, fmt.Sprintf("hash<=%d", m.MaxHashSlots))
+	}
+	if m.MaxBloomBits > 0 {
+		parts = append(parts, fmt.Sprintf("bloom<=%db", m.MaxBloomBits))
+	}
+	if m.MaxSketchCols > 0 {
+		parts = append(parts, fmt.Sprintf("sketch<=%dcol", m.MaxSketchCols))
+	}
+	if m.MaxArrayCells > 0 {
+		parts = append(parts, fmt.Sprintf("array<=%d", m.MaxArrayCells))
+	}
+	return strings.Join(parts, " ")
+}
+
+// The registered targets.
+var (
+	// Idealized is the paper's device: unbounded resources, exact
+	// recirculation, hash tables with real collision arms. Profiles under
+	// it are bit-for-bit identical to a nil target.
+	Idealized = &Model{
+		Name:        "idealized",
+		Description: "unbounded software switch (paper semantics; the default)",
+	}
+
+	// Tofino approximates a fixed-function RMT pipeline: a hard stage
+	// budget (overlong passes are dropped), bounded SRAM/TCAM per
+	// structure, and limited table capacity.
+	Tofino = &Model{
+		Name:            "tofino",
+		Description:     "RMT-like pipeline: 12 stages (overflow drops), bounded SRAM per structure",
+		MaxStages:       12,
+		OnOverflow:      OverflowDrop,
+		MaxTableEntries: 1024,
+		MaxHashSlots:    512,
+		MaxBloomBits:    4096,
+		MaxSketchCols:   1024,
+	}
+
+	// EBPF approximates an XDP/eBPF datapath: no recirculation
+	// (recirculate punts to the kernel), map-backed exact state (no hash
+	// collision arm), and a verifier-style bound on stateful work per
+	// pass (overflow punts).
+	EBPF = &Model{
+		Name:        "ebpf",
+		Description: "XDP-like datapath: map-backed exact state, no recirculation, verifier path bound",
+		MaxStages:   32,
+		OnOverflow:  OverflowPunt,
+		NoRecirc:    true,
+		ExactState:  true,
+	}
+)
+
+// registry maps names to models; "" is an alias for idealized so unset
+// options mean "today's semantics".
+var registry = map[string]*Model{
+	"":          Idealized,
+	"idealized": Idealized,
+	"tofino":    Tofino,
+	"ebpf":      EBPF,
+}
+
+// Lookup resolves a target name ("" means idealized). Unknown names error
+// with the known set so CLI surfaces can print an actionable message.
+func Lookup(name string) (*Model, error) {
+	if m, ok := registry[name]; ok {
+		return m, nil
+	}
+	return nil, fmt.Errorf("unknown target %q (known: %s)", name, strings.Join(Names(), ", "))
+}
+
+// Names lists the registered target names, sorted.
+func Names() []string {
+	var out []string
+	for n := range registry {
+		if n != "" {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns the registered models in Names() order.
+func All() []*Model {
+	var out []*Model
+	for _, n := range Names() {
+		out = append(out, registry[n])
+	}
+	return out
+}

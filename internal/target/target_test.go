@@ -1,0 +1,155 @@
+package target
+
+import (
+	"strings"
+	"testing"
+)
+
+// The nil model is the idealized device: every method must behave as a
+// no-op so engine code can thread Options.Target unconditionally.
+func TestNilModelIsIdealized(t *testing.T) {
+	var m *Model
+	if m.StageLimit() != 0 {
+		t.Fatalf("nil StageLimit = %d, want 0", m.StageLimit())
+	}
+	if !m.Recirculates() {
+		t.Fatal("nil model must recirculate")
+	}
+	if m.Exact() {
+		t.Fatal("nil model must not be exact-state")
+	}
+	if !m.IsIdealized() {
+		t.Fatal("nil model must report idealized")
+	}
+	if got := m.CanonicalName(); got != "idealized" {
+		t.Fatalf("nil CanonicalName = %q", got)
+	}
+	for _, n := range []int{1, 7, 1 << 20} {
+		if m.ClampHashSlots(n) != n || m.ClampBloomBits(n) != n ||
+			m.ClampSketchCols(n) != n || m.ClampArrayCells(n) != n ||
+			m.ClampTableEntries(n) != n {
+			t.Fatalf("nil clamps must pass %d through", n)
+		}
+	}
+	if m.Limits() != "none" {
+		t.Fatalf("nil Limits = %q", m.Limits())
+	}
+}
+
+func TestIdealizedIsStrictNoOp(t *testing.T) {
+	if !Idealized.IsIdealized() {
+		t.Fatal("Idealized must report idealized")
+	}
+	if Idealized.StageLimit() != 0 || !Idealized.Recirculates() || Idealized.Exact() {
+		t.Fatalf("Idealized has constraints: %+v", Idealized)
+	}
+	if Idealized.ClampHashSlots(4096) != 4096 {
+		t.Fatal("Idealized must not clamp")
+	}
+}
+
+func TestTofinoClamps(t *testing.T) {
+	if Tofino.IsIdealized() {
+		t.Fatal("Tofino must not report idealized")
+	}
+	if Tofino.StageLimit() != 12 || Tofino.Overflow() != OverflowDrop {
+		t.Fatalf("Tofino stage budget: %+v", Tofino)
+	}
+	if got := Tofino.ClampHashSlots(2048); got != 512 {
+		t.Fatalf("ClampHashSlots(2048) = %d, want 512", got)
+	}
+	if got := Tofino.ClampHashSlots(64); got != 64 {
+		t.Fatalf("ClampHashSlots(64) = %d, want passthrough 64", got)
+	}
+	if got := Tofino.ClampBloomBits(1 << 16); got != 4096 {
+		t.Fatalf("ClampBloomBits = %d, want 4096", got)
+	}
+	if got := Tofino.ClampSketchCols(2048); got != 1024 {
+		t.Fatalf("ClampSketchCols = %d, want 1024", got)
+	}
+	if got := Tofino.ClampTableEntries(5000); got != 1024 {
+		t.Fatalf("ClampTableEntries = %d, want 1024", got)
+	}
+	// Structure clamps never produce a degenerate zero-size store...
+	m := &Model{MaxHashSlots: 4}
+	if got := m.ClampHashSlots(0); got < 1 {
+		t.Fatalf("clamp produced %d slots", got)
+	}
+	// ...but a table clamp may legitimately empty a table.
+	e := &Model{MaxTableEntries: 2}
+	if got := e.ClampTableEntries(0); got != 0 {
+		t.Fatalf("ClampTableEntries(0) = %d, want 0", got)
+	}
+}
+
+func TestEBPFSemantics(t *testing.T) {
+	if EBPF.Recirculates() {
+		t.Fatal("eBPF model must not recirculate")
+	}
+	if !EBPF.Exact() {
+		t.Fatal("eBPF model must be exact-state")
+	}
+	if EBPF.StageLimit() != 32 || EBPF.Overflow() != OverflowPunt {
+		t.Fatalf("eBPF path bound: %+v", EBPF)
+	}
+	if EBPF.ClampHashSlots(4096) != 4096 {
+		t.Fatal("eBPF model has no SRAM clamp")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	for _, name := range []string{"", "idealized", "tofino", "ebpf"} {
+		m, err := Lookup(name)
+		if err != nil || m == nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+	}
+	if m, _ := Lookup(""); m != Idealized {
+		t.Fatal("empty name must resolve to Idealized")
+	}
+	_, err := Lookup("bmv2")
+	if err == nil {
+		t.Fatal("unknown target must error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"bmv2"`) || !strings.Contains(msg, "ebpf") ||
+		!strings.Contains(msg, "idealized") || !strings.Contains(msg, "tofino") {
+		t.Fatalf("error should name the unknown target and the registry: %q", msg)
+	}
+}
+
+func TestNamesAndAll(t *testing.T) {
+	names := Names()
+	want := []string{"ebpf", "idealized", "tofino"}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v (sorted)", names, want)
+		}
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d models", len(all))
+	}
+	for i, m := range all {
+		if m.CanonicalName() != want[i] {
+			t.Fatalf("All()[%d] = %q, want %q", i, m.CanonicalName(), want[i])
+		}
+	}
+}
+
+func TestLimitsStrings(t *testing.T) {
+	if s := Tofino.Limits(); !strings.Contains(s, "stages<=12(drop)") ||
+		!strings.Contains(s, "hash<=512") {
+		t.Fatalf("Tofino limits = %q", s)
+	}
+	if s := EBPF.Limits(); !strings.Contains(s, "stages<=32(punt)") ||
+		!strings.Contains(s, "no-recirc") || !strings.Contains(s, "exact-state") {
+		t.Fatalf("eBPF limits = %q", s)
+	}
+	if s := Idealized.Limits(); s != "none" {
+		t.Fatalf("Idealized limits = %q", s)
+	}
+}

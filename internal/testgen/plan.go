@@ -16,6 +16,7 @@ func directedPlan(prog *ir.Program, target int, opt Options) (*pathPlan, error) 
 		Greybox:  true,
 		MaxPaths: opt.Beam * 64,
 		Ctx:      opt.Ctx,
+		Target:   opt.targetModel(),
 	})
 	cfg := ir.BuildCFG(prog)
 	distTo := cfg.DistanceTo(target)
@@ -82,6 +83,7 @@ func stretchPlan(prog *ir.Program, g core.Guard, target int, opt Options) (*path
 		Greybox:  true,
 		MaxPaths: 1 << 16,
 		Ctx:      opt.Ctx,
+		Target:   opt.targetModel(),
 	})
 	maxSteps := int(rept)*2 + opt.Slack + 8
 	paths := engine.Initial()

@@ -25,6 +25,7 @@ import (
 	"repro/internal/dut"
 	"repro/internal/ir"
 	"repro/internal/sym"
+	"repro/internal/target"
 	"repro/internal/trace"
 )
 
@@ -45,6 +46,21 @@ type Options struct {
 	// phase's CRC collision search every 64 probes. A canceled Generate
 	// returns the context's error. Nil means no cancellation.
 	Ctx context.Context
+	// Target names the device model the generated sequence must work
+	// against ("idealized" when empty): directed exploration and the
+	// validation replay both run under the same model, so a trace is only
+	// reported Validated when it triggers the block on that device.
+	Target string
+}
+
+// targetModel resolves the named target, falling back to idealized for
+// unknown names (callers validate names at their own boundaries).
+func (o Options) targetModel() *target.Model {
+	m, err := target.Lookup(o.Target)
+	if err != nil {
+		return target.Idealized
+	}
+	return m
 }
 
 // ctx returns the options context, never nil.
@@ -149,7 +165,7 @@ func Generate(prog *ir.Program, target int, opt Options) (*AdvTrace, error) {
 		}
 		havocStart := time.Now()
 		freshFields, hasCollisions := havocPhase(opt.ctx(), prog, plan, pkts, trySeed)
-		valid := validate(prog, pkts, target)
+		valid := validate(prog, pkts, target, opt.targetModel())
 		out.Decomp.Havoc += time.Since(havocStart)
 		if valid {
 			out.Packets = pkts
@@ -186,8 +202,8 @@ func guardOf(prog *ir.Program, target int) (core.Guard, bool) {
 
 // validate replays a candidate sequence on a fresh concrete switch and
 // checks that the target block executes.
-func validate(prog *ir.Program, pkts []trace.Packet, target int) bool {
-	sw := dut.New(prog, dut.Config{})
+func validate(prog *ir.Program, pkts []trace.Packet, target int, model *target.Model) bool {
+	sw := dut.New(prog, dut.Config{Target: model})
 	hit := false
 	sw.VisitHook = func(id int) {
 		if id == target {

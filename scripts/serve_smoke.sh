@@ -90,10 +90,38 @@ hits=$(curl -fs "$BASE/metrics" | awk '$1 == "serve_store_hits" {print $2}')
 [ "${hits:-0}" -ge 1 ] || fail "store hit not counted (serve_store_hits=$hits)"
 echo "   cached answer, engine runs unchanged at $runs_after"
 
+echo "== same program under two device targets"
+# flowlet's 1024-slot flowlet table diverges under tofino's SRAM clamps, so the
+# two submissions must land in distinct store entries AND disagree on the
+# profile itself.
+"$WORK/p4wn" submit -addr "$BASE" -prog "flowlet (S2)" -target-model idealized -follow \
+  >"$WORK/tgt_ideal.json" 2>/dev/null
+"$WORK/p4wn" submit -addr "$BASE" -prog "flowlet (S2)" -target-model tofino -follow \
+  >"$WORK/tgt_tofino.json" 2>/dev/null
+ID_IDEAL=$(jq -r '.job.id' "$WORK/tgt_ideal.json")
+ID_TOFINO=$(jq -r '.job.id' "$WORK/tgt_tofino.json")
+[ -n "$ID_IDEAL" ] && [ "$ID_IDEAL" != "$ID_TOFINO" ] \
+  || fail "two targets share one store key ($ID_IDEAL)"
+jq -e '.target == "idealized"' "$WORK/tgt_ideal.json" >/dev/null \
+  || fail "idealized result does not name its target"
+jq -e '.target == "tofino"' "$WORK/tgt_tofino.json" >/dev/null \
+  || fail "tofino result does not name its target"
+jq -S '.nodes' "$WORK/tgt_ideal.json" >"$WORK/tgt_ideal.nodes"
+jq -S '.nodes' "$WORK/tgt_tofino.json" >"$WORK/tgt_tofino.nodes"
+cmp -s "$WORK/tgt_ideal.nodes" "$WORK/tgt_tofino.nodes" \
+  && fail "tofino profile is identical to idealized — target model had no effect"
+[ -s "$WORK/store/$ID_IDEAL.json" ] && [ -s "$WORK/store/$ID_TOFINO.json" ] \
+  || fail "per-target results not both persisted"
+echo "   distinct store keys and divergent profiles per target"
+
 echo "== client status/result/cancel surface"
 JOB_ID=$(jq -r '.job.id' "$WORK/served.json")
 "$WORK/p4wn" status -addr "$BASE" -id "$JOB_ID" | grep -q done || fail "status does not report done"
-"$WORK/p4wn" status -addr "$BASE" | grep -q "$JOB_ID" || fail "job list misses the job"
+# Buffer the listing: `grep -q` would close the pipe on the first match,
+# and with several jobs listed the client would die on SIGPIPE under
+# pipefail before finishing its output.
+"$WORK/p4wn" status -addr "$BASE" >"$WORK/jobs.list"
+grep -q "$JOB_ID" "$WORK/jobs.list" || fail "job list misses the job"
 "$WORK/p4wn" result -addr "$BASE" -id "$JOB_ID" -o "$WORK/fetched.json" 2>/dev/null
 cmp -s "$WORK/served.json" "$WORK/fetched.json" || fail "result fetch is not byte-identical to the stored result"
 "$WORK/p4wn" cancel -addr "$BASE" -id "$JOB_ID" >/dev/null || fail "cancel of a finished job errored"
