@@ -12,12 +12,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -57,37 +61,93 @@ func apiError(resp *http.Response, body []byte) error {
 // (skipped when out is nil). Non-2xx responses become errors carrying the
 // server's message.
 func doJSON(method, url string, reqBody, out any) error {
-	var rd io.Reader
+	return doJSONRetry(method, url, reqBody, out, 0)
+}
+
+// doJSONRetry is doJSON with bounded retries over transient failures:
+// connection errors and 429/502/503/504 responses. The wait between
+// attempts doubles from retryBaseDelay with ±25% jitter; a 429 carrying
+// Retry-After waits at least that long (the daemon sets it when its queue
+// or a tenant quota is full). Anything else — including every 4xx other
+// than 429 — fails immediately: the request itself is wrong, repeating it
+// can't help.
+func doJSONRetry(method, url string, reqBody, out any, retries int) error {
+	var data []byte
 	if reqBody != nil {
-		data, err := json.Marshal(reqBody)
-		if err != nil {
+		var err error
+		if data, err = json.Marshal(reqBody); err != nil {
 			return err
 		}
+	}
+	delay := retryBaseDelay
+	for attempt := 0; ; attempt++ {
+		err, retryAfter, retryable := doJSONOnce(method, url, data, out)
+		if err == nil || !retryable || attempt >= retries {
+			return err
+		}
+		wait := jitter(delay)
+		if retryAfter > wait {
+			wait = retryAfter
+		}
+		fmt.Fprintf(os.Stderr, "p4wn: %v; retrying in %s (%d/%d)\n",
+			err, wait.Round(time.Millisecond), attempt+1, retries)
+		time.Sleep(wait)
+		if delay < retryMaxDelay {
+			delay *= 2
+		}
+	}
+}
+
+const (
+	retryBaseDelay = 250 * time.Millisecond
+	retryMaxDelay  = 8 * time.Second
+)
+
+// jitter spreads a backoff delay ±25% so synchronized clients desynchronize.
+func jitter(d time.Duration) time.Duration {
+	return d + time.Duration((rand.Float64()-0.5)*0.5*float64(d))
+}
+
+// doJSONOnce is one attempt: the error (nil on success), any Retry-After
+// hint, and whether the failure is worth retrying.
+func doJSONOnce(method, url string, data []byte, out any) (err error, retryAfter time.Duration, retryable bool) {
+	var rd io.Reader
+	if data != nil {
 		rd = bytes.NewReader(data)
 	}
 	req, err := http.NewRequest(method, url, rd)
 	if err != nil {
-		return err
+		return err, 0, false
 	}
-	if reqBody != nil {
+	if data != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
-		return err
+		// Connection refused, reset, timeout: the transport failed before any
+		// server judgment — transient by assumption.
+		return err, 0, true
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
-		return err
+		return err, 0, true
 	}
 	if resp.StatusCode/100 != 2 {
-		return apiError(resp, body)
+		switch resp.StatusCode {
+		case http.StatusTooManyRequests, http.StatusBadGateway,
+			http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			if secs, convErr := strconv.Atoi(resp.Header.Get("Retry-After")); convErr == nil && secs > 0 {
+				retryAfter = time.Duration(secs) * time.Second
+			}
+			return apiError(resp, body), retryAfter, true
+		}
+		return apiError(resp, body), 0, false
 	}
 	if out != nil {
-		return json.Unmarshal(body, out)
+		return json.Unmarshal(body, out), 0, false
 	}
-	return nil
+	return nil, 0, false
 }
 
 func printStatusTo(w io.Writer, st serve.JobStatus) {
@@ -107,7 +167,7 @@ func printStatus(st serve.JobStatus) { printStatusTo(os.Stdout, st) }
 // prints the job ID; with -follow it then streams progress and prints the
 // result JSON to stdout once the job finishes.
 func runSubmit(args []string) {
-	fs := newFlagSet("submit", "submit (-prog name | -file prog.p4w) [-target label] [-target-model model] [-uniform] [-scale quick|default|full] [-seed n] [-priority n] [-job-timeout d] [-follow] [-addr url]")
+	fs := newFlagSet("submit", "submit (-prog name | -file prog.p4w) [-target label] [-target-model model] [-uniform] [-scale quick|default|full] [-seed n] [-priority n] [-tenant name] [-retries n] [-job-timeout d] [-follow] [-addr url]")
 	addr := addrFlag(fs)
 	progName := fs.String("prog", "", "zoo program name")
 	progFile := fs.String("file", "", "mini-language source file (alternative to -prog)")
@@ -117,6 +177,8 @@ func runSubmit(args []string) {
 	scale := fs.String("scale", "", "options preset: quick, default, or full")
 	seed := fs.Int64("seed", 1, "random seed (matches `p4wn profile`'s default)")
 	priority := fs.Int("priority", 0, "queue priority (higher runs first)")
+	tenant := fs.String("tenant", "", "tenant name for coordinator fair-share scheduling")
+	retries := fs.Int("retries", 3, "resubmit attempts over backpressure (429) and connection errors")
 	jobTimeout := fs.Duration("job-timeout", 0, "per-job wall-clock bound (0 = server default)")
 	follow := fs.Bool("follow", false, "stream progress, then print the result JSON")
 	parseFlags(fs, args)
@@ -129,6 +191,7 @@ func runSubmit(args []string) {
 		Scale:      *scale,
 		Options:    core.WireOptions{Seed: *seed, Target: *targetModel},
 		Priority:   *priority,
+		Tenant:     *tenant,
 		TimeoutSec: jobTimeout.Seconds(),
 	}
 	if *target != "" {
@@ -149,7 +212,7 @@ func runSubmit(args []string) {
 
 	base := baseURL(*addr)
 	var st serve.JobStatus
-	if err := doJSON(http.MethodPost, base+"/v1/jobs", spec, &st); err != nil {
+	if err := doJSONRetry(http.MethodPost, base+"/v1/jobs", spec, &st, *retries); err != nil {
 		fatal(err)
 	}
 	if !*follow {
@@ -336,6 +399,71 @@ func runTrace(args []string) {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote trace to %s (open in chrome://tracing or ui.perfetto.dev)\n", *out)
+}
+
+// runCluster talks to a coordinator: `p4wn cluster status` renders the
+// shard table (liveness, queue depths, forward/steal/retry counters) plus
+// tenant fair-share state; -json dumps the raw wire form.
+func runCluster(args []string) {
+	if len(args) < 1 || args[0] != "status" {
+		fmt.Fprintln(os.Stderr, "usage: p4wn cluster status [-json] [-addr url]")
+		os.Exit(2)
+	}
+	fs := newFlagSet("cluster status", "cluster status [-json] [-addr url]")
+	addr := addrFlag(fs)
+	asJSON := fs.Bool("json", false, "print the raw JSON status")
+	parseFlags(fs, args[1:])
+
+	var st cluster.ClusterStatus
+	if err := doJSON(http.MethodGet, baseURL(*addr)+"/v1/cluster/status", nil, &st); err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(st)
+		return
+	}
+	state := "serving"
+	if st.Draining {
+		state = "draining"
+	}
+	fmt.Printf("coordinator: %s  pending=%d jobs=%d cache=%d entries (%d hits)\n\n",
+		state, st.Pending, st.Jobs, st.CacheResident, st.CacheHits)
+	rows := make([][]string, 0, len(st.Shards))
+	for _, sh := range st.Shards {
+		shState := "down"
+		switch {
+		case sh.Ready:
+			shState = "ready"
+		case sh.Alive:
+			shState = "draining"
+		}
+		rows = append(rows, []string{
+			sh.Addr, shState,
+			strconv.Itoa(sh.QueueDepth), strconv.Itoa(sh.Running), strconv.Itoa(sh.Dispatched),
+			strconv.FormatInt(sh.Forwards, 10), strconv.FormatInt(sh.Steals, 10),
+			strconv.FormatInt(sh.RemoteHits, 10), strconv.FormatInt(sh.Retries, 10),
+		})
+	}
+	fmt.Print(obs.Table(
+		[]string{"shard", "state", "queue", "running", "dispatched", "forwards", "steals", "remote-hits", "retries"},
+		rows))
+	if len(st.Tenants) > 0 {
+		fmt.Println()
+		trows := make([][]string, 0, len(st.Tenants))
+		for _, tn := range st.Tenants {
+			name := tn.Name
+			if name == "" {
+				name = "default"
+			}
+			trows = append(trows, []string{
+				name, strconv.FormatFloat(tn.Weight, 'g', -1, 64),
+				strconv.Itoa(tn.Pending), strconv.FormatInt(tn.Rejected, 10),
+			})
+		}
+		fmt.Print(obs.Table([]string{"tenant", "weight", "pending", "rejected"}, trows))
+	}
 }
 
 // runCancel cancels a queued or running job.

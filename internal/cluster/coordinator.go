@@ -1,0 +1,630 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// Config tunes the coordinator.
+type Config struct {
+	// Workers lists the shard daemons' base addresses (host:port or URL).
+	// The consistent-hash ring is built over this list; order is
+	// irrelevant, duplicates are dropped.
+	Workers []string
+	// Replicas is the virtual-node count per worker (default 64).
+	Replicas int
+	// TenantQuota bounds each tenant's pending submissions (default 32);
+	// past it submissions get 429 + Retry-After.
+	TenantQuota int
+	// QueueDepth bounds total pending submissions across tenants
+	// (default 256).
+	QueueDepth int
+	// TenantWeights sets fair-share weights; unlisted tenants weigh 1.
+	TenantWeights map[string]float64
+	// Dispatchers is how many jobs the coordinator keeps in flight across
+	// the fleet at once (default 2 per worker, matching each daemon's
+	// default job concurrency).
+	Dispatchers int
+	// CacheCap bounds the in-coordinator hot-result LRU (default 128).
+	CacheCap int
+	// StealLoad is the in-flight count past which a shard counts as
+	// overloaded; an overloaded owner's job is stolen by the first idle
+	// shard in its ring sequence (default 4).
+	StealLoad int
+	// HeartbeatEvery is the shard stats poll interval (default 1s).
+	HeartbeatEvery time.Duration
+	// PollEvery is the per-job remote status poll interval (default 150ms).
+	PollEvery time.Duration
+	// Registry receives the cluster metrics; fresh when nil.
+	Registry *obs.Registry
+	// Logger receives structured log lines (nil discards). Job-scoped
+	// records carry job_id, trace_id, and shard.
+	Logger *slog.Logger
+	// Client performs shard HTTP calls; a default with sane timeouts is
+	// built when nil.
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas == 0 {
+		c.Replicas = ringReplicas
+	}
+	if c.TenantQuota == 0 {
+		c.TenantQuota = 32
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 256
+	}
+	if c.Dispatchers == 0 {
+		c.Dispatchers = 2 * len(c.Workers)
+	}
+	if c.CacheCap == 0 {
+		c.CacheCap = 128
+	}
+	if c.StealLoad == 0 {
+		c.StealLoad = 4
+	}
+	if c.HeartbeatEvery == 0 {
+		c.HeartbeatEvery = time.Second
+	}
+	if c.PollEvery == 0 {
+		c.PollEvery = 150 * time.Millisecond
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return c
+}
+
+// shard is the coordinator's view of one worker daemon.
+type shard struct {
+	addr string // canonical base URL
+
+	mu         sync.Mutex
+	alive      bool
+	ready      bool // alive and not draining
+	lastSeen   time.Time
+	stats      serve.NodeStats
+	dispatched int // jobs this coordinator has in flight here
+}
+
+func (sh *shard) isReady() bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.ready
+}
+
+// load is the coordinator's own in-flight count on the shard — always
+// current, unlike heartbeat stats, so steal decisions never act on stale
+// data.
+func (sh *shard) load() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.dispatched
+}
+
+func (sh *shard) addDispatched(d int) {
+	sh.mu.Lock()
+	sh.dispatched += d
+	sh.mu.Unlock()
+}
+
+// markDown flips the shard dead immediately (a failed forward or poll);
+// the next heartbeat may revive it.
+func (sh *shard) markDown() {
+	sh.mu.Lock()
+	sh.alive = false
+	sh.ready = false
+	sh.mu.Unlock()
+}
+
+// Coordinator routes jobs across a fleet of p4wnd workers. It serves the
+// same job API as a single daemon plus /v1/cluster/status, and owns no
+// engine: every result is computed by a shard and content-addressed
+// identically to a single-node run.
+type Coordinator struct {
+	cfg    Config
+	reg    *obs.Registry
+	log    *slog.Logger
+	client *http.Client
+	ring   *ring
+	fq     *fairQueue
+	cache  *resultCache
+
+	mu       sync.Mutex
+	jobs     map[string]*cjob
+	shards   map[string]*shard
+	draining bool
+
+	baseCtx context.Context
+	stopAll context.CancelFunc
+	dispWG  sync.WaitGroup // dispatchers (and the follows they run)
+	hbWG    sync.WaitGroup // heartbeat loop
+}
+
+// New builds a Coordinator over the configured workers and starts its
+// dispatchers and heartbeat loop.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("cluster: coordinator needs at least one worker address")
+	}
+	addrs := make([]string, 0, len(cfg.Workers))
+	for _, w := range cfg.Workers {
+		a := canonicalAddr(w)
+		if a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Coordinator{
+		cfg:     cfg,
+		reg:     cfg.Registry,
+		log:     cfg.Logger,
+		client:  cfg.Client,
+		ring:    newRing(addrs, cfg.Replicas),
+		fq:      newFairQueue(cfg.TenantQuota, cfg.QueueDepth, cfg.TenantWeights),
+		cache:   newResultCache(cfg.CacheCap),
+		jobs:    map[string]*cjob{},
+		shards:  map[string]*shard{},
+		baseCtx: ctx,
+		stopAll: cancel,
+	}
+	if len(c.ring.nodes) == 0 {
+		cancel()
+		return nil, fmt.Errorf("cluster: no valid worker addresses in %v", cfg.Workers)
+	}
+	for _, a := range c.ring.nodes {
+		c.shards[a] = &shard{addr: a}
+	}
+	c.reg.RegisterView("cluster", c.viewMetrics)
+	c.reg.SetHelp("cluster.forwards", "Jobs forwarded to each shard.")
+	c.reg.SetHelp("cluster.steals", "Jobs diverted to an idle shard off an overloaded ring owner.")
+	c.reg.SetHelp("cluster.retries", "Jobs re-routed after a shard failed mid-flight.")
+	c.reg.SetHelp("cluster.remote_hits", "Results answered from a shard's store with no engine run.")
+	c.reg.SetHelp("cluster.quota_rejections", "Submissions refused by a tenant's pending quota.")
+	c.reg.SetHelp("cluster.forward_seconds", "Wall time of one job's remote hop, dispatch to terminal state.")
+	// Probe the fleet synchronously once so the first submission routes on
+	// real liveness, then keep polling in the background.
+	c.heartbeatOnce()
+	c.hbWG.Add(1)
+	go c.heartbeatLoop()
+	for i := 0; i < cfg.Dispatchers; i++ {
+		c.dispWG.Add(1)
+		go c.dispatcher()
+	}
+	return c, nil
+}
+
+// canonicalAddr normalizes a worker address to a scheme-qualified base URL
+// without a trailing slash.
+func canonicalAddr(addr string) string {
+	addr = strings.TrimSpace(addr)
+	if addr == "" {
+		return ""
+	}
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimRight(addr, "/")
+}
+
+// Registry exposes the metrics registry backing /metrics.
+func (c *Coordinator) Registry() *obs.Registry { return c.reg }
+
+// Workers returns the canonical shard addresses on the ring.
+func (c *Coordinator) Workers() []string {
+	return append([]string(nil), c.ring.nodes...)
+}
+
+// viewMetrics is the "cluster." gauge view: per-shard load and liveness
+// plus coordinator queue state, labeled by shard address.
+func (c *Coordinator) viewMetrics() map[string]float64 {
+	out := map[string]float64{
+		"pending": float64(c.fq.depth()),
+	}
+	c.mu.Lock()
+	out["jobs"] = float64(len(c.jobs))
+	shards := make([]*shard, 0, len(c.shards))
+	for _, sh := range c.shards {
+		shards = append(shards, sh)
+	}
+	draining := c.draining
+	c.mu.Unlock()
+	if draining {
+		out["draining"] = 1
+	} else {
+		out["draining"] = 0
+	}
+	resident, hits := c.cache.stats()
+	out["cache_resident"] = float64(resident)
+	out["cache_hits"] = float64(hits)
+	for _, sh := range shards {
+		sh.mu.Lock()
+		alive, ready := 0.0, 0.0
+		if sh.alive {
+			alive = 1
+		}
+		if sh.ready {
+			ready = 1
+		}
+		out[obs.Labeled("shard_alive", "shard", sh.addr)] = alive
+		out[obs.Labeled("shard_ready", "shard", sh.addr)] = ready
+		out[obs.Labeled("shard_queue_depth", "shard", sh.addr)] = float64(sh.stats.QueueDepth)
+		out[obs.Labeled("shard_running", "shard", sh.addr)] = float64(sh.stats.Running)
+		out[obs.Labeled("shard_dispatched", "shard", sh.addr)] = float64(sh.dispatched)
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// heartbeatLoop polls every shard's /v1/stats on the configured cadence.
+func (c *Coordinator) heartbeatLoop() {
+	defer c.hbWG.Done()
+	tick := time.NewTicker(c.cfg.HeartbeatEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.baseCtx.Done():
+			return
+		case <-tick.C:
+			c.heartbeatOnce()
+		}
+	}
+}
+
+// heartbeatOnce polls all shards concurrently with a bounded per-probe
+// timeout. A reachable shard is alive; it is ready only while serving
+// (draining shards finish their work but receive nothing new). The probe
+// timeout is floored at 1s regardless of how fast the cadence is: a busy
+// worker answering stats slowly is degraded, not dead, and a fleet-wide
+// false "all down" would fail jobs that a moment's patience would save.
+func (c *Coordinator) heartbeatOnce() {
+	timeout := c.cfg.HeartbeatEvery
+	if timeout < time.Second {
+		timeout = time.Second
+	}
+	if timeout > 2*time.Second {
+		timeout = 2 * time.Second
+	}
+	var wg sync.WaitGroup
+	c.mu.Lock()
+	shards := make([]*shard, 0, len(c.shards))
+	for _, sh := range c.shards {
+		shards = append(shards, sh)
+	}
+	c.mu.Unlock()
+	for _, sh := range shards {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(c.baseCtx, timeout)
+			defer cancel()
+			var st serve.NodeStats
+			err := c.getJSON(ctx, sh.addr+"/v1/stats", &st)
+			sh.mu.Lock()
+			wasAlive := sh.alive
+			if err != nil {
+				sh.alive, sh.ready = false, false
+			} else {
+				sh.alive = true
+				sh.ready = st.State == "serving"
+				sh.stats = st
+				sh.lastSeen = time.Now()
+			}
+			nowAlive := sh.alive
+			sh.mu.Unlock()
+			if wasAlive != nowAlive {
+				if nowAlive {
+					c.log.Info("shard up", "shard", sh.addr)
+				} else {
+					c.log.Warn("shard down", "shard", sh.addr, "error", err.Error())
+				}
+			}
+		}(sh)
+	}
+	wg.Wait()
+}
+
+// getJSON performs one GET against a shard and decodes the JSON body.
+func (c *Coordinator) getJSON(ctx context.Context, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	if out != nil {
+		return json.Unmarshal(body, out)
+	}
+	return nil
+}
+
+// Submit runs the coordinator submission flow; the returned code is the
+// HTTP status it maps to, mirroring serve.Server.Submit so the client
+// surface is identical: 200 (cache or dedup), 202 (queued for dispatch),
+// 400 (bad spec), 429 (quota/backpressure), 503 (draining).
+func (c *Coordinator) Submit(spec serve.JobSpec) (serve.JobStatus, int, error) {
+	norm, err := spec.Normalize()
+	if err != nil {
+		return serve.JobStatus{}, http.StatusBadRequest, err
+	}
+	id := norm.ID()
+	// The coordinator owns the trace identity for the whole hop: derive it
+	// from the content address (like a worker would) and pin it on the
+	// forwarded spec so both sides log the same trace_id.
+	if norm.TraceID == "" {
+		norm.TraceID = id[:16]
+	}
+	c.reg.Counter("cluster.submitted").Inc()
+
+	c.mu.Lock()
+	if c.draining {
+		c.mu.Unlock()
+		return serve.JobStatus{}, http.StatusServiceUnavailable, ErrDraining
+	}
+	if j, ok := c.jobs[id]; ok && j.State() != serve.StateFailed && j.State() != serve.StateCanceled {
+		st := j.Status()
+		if st.State == serve.StateDone {
+			st.Cached = true
+		} else {
+			c.reg.Counter("cluster.dedup_inflight").Inc()
+		}
+		c.mu.Unlock()
+		return st, http.StatusOK, nil
+	}
+	c.mu.Unlock()
+
+	// Local hot cache, then the ring owner's store: identical work finished
+	// somewhere in the fleet is answered without dispatching anything.
+	if _, ok := c.cache.get(id); ok {
+		c.reg.Counter("cluster.cache_hits_total").Inc()
+		return serve.JobStatus{
+			ID: id, TraceID: norm.TraceID, Kind: norm.Kind,
+			State: serve.StateDone, Cached: true, Priority: norm.Priority,
+		}, http.StatusOK, nil
+	}
+	if st, ok := c.probeOwner(id, norm); ok {
+		return st, http.StatusOK, nil
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.draining {
+		return serve.JobStatus{}, http.StatusServiceUnavailable, ErrDraining
+	}
+	if j, ok := c.jobs[id]; ok && j.State() != serve.StateFailed && j.State() != serve.StateCanceled {
+		c.reg.Counter("cluster.dedup_inflight").Inc()
+		return j.Status(), http.StatusOK, nil
+	}
+	j := newCjob(id, norm, time.Now())
+	if err := c.fq.push(j.Tenant, j); err != nil {
+		code := http.StatusServiceUnavailable
+		switch err {
+		case ErrTenantQuota:
+			code = http.StatusTooManyRequests
+			c.reg.Counter(obs.Labeled("cluster.quota_rejections", "tenant", tenantLabel(j.Tenant))).Inc()
+		case ErrQueueFull:
+			code = http.StatusTooManyRequests
+			c.reg.Counter("cluster.rejected_full").Inc()
+		}
+		return serve.JobStatus{}, code, err
+	}
+	c.jobs[id] = j
+	c.trimJobsLocked()
+	c.reg.Counter("cluster.enqueued").Inc()
+	c.jobLog(j).Info("job enqueued",
+		"kind", j.Spec.Kind, "tenant", j.Tenant, "owner", c.ring.owner(id),
+		"pending", c.fq.depth())
+	return j.Status(), http.StatusAccepted, nil
+}
+
+// tenantLabel names the default tenant in metrics ("" is not a useful
+// label value).
+func tenantLabel(t string) string {
+	if t == "" {
+		return "default"
+	}
+	return t
+}
+
+// probeOwner asks the key's ring owner for an already-stored result before
+// enqueuing anything: one bounded GET against its store. On a hit the
+// bytes are replicated into the coordinator LRU and the submission is
+// answered as cached.
+func (c *Coordinator) probeOwner(id string, norm serve.JobSpec) (serve.JobStatus, bool) {
+	owner := c.ring.owner(id)
+	sh := c.shardFor(owner)
+	if sh == nil || !sh.isReady() {
+		return serve.JobStatus{}, false
+	}
+	ctx, cancel := context.WithTimeout(c.baseCtx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, owner+"/v1/jobs/"+id+"/result", nil)
+	if err != nil {
+		return serve.JobStatus{}, false
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return serve.JobStatus{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		return serve.JobStatus{}, false
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil || !json.Valid(data) {
+		return serve.JobStatus{}, false
+	}
+	c.cache.put(id, data)
+	c.reg.Counter(obs.Labeled("cluster.remote_hits", "shard", owner)).Inc()
+	c.log.Info("remote cache hit", "job_id", id, "shard", owner)
+	return serve.JobStatus{
+		ID: id, TraceID: norm.TraceID, Kind: norm.Kind,
+		State: serve.StateDone, Cached: true, Priority: norm.Priority,
+	}, true
+}
+
+// jobsCap bounds the coordinator's job table; terminal jobs are discarded
+// oldest-first past it (results live on in shard stores and the LRU).
+const jobsCap = 4096
+
+// trimJobsLocked mirrors the worker-side policy; callers hold c.mu.
+func (c *Coordinator) trimJobsLocked() {
+	if len(c.jobs) <= jobsCap {
+		return
+	}
+	type aged struct {
+		id string
+		at time.Time
+	}
+	var terminal []aged
+	for id, j := range c.jobs {
+		j.mu.Lock()
+		if j.state == serve.StateDone || j.state == serve.StateFailed || j.state == serve.StateCanceled {
+			terminal = append(terminal, aged{id, j.finished})
+		}
+		j.mu.Unlock()
+	}
+	sort.Slice(terminal, func(i, k int) bool { return terminal[i].at.Before(terminal[k].at) })
+	for _, t := range terminal {
+		if len(c.jobs) <= jobsCap {
+			break
+		}
+		delete(c.jobs, t.id)
+	}
+}
+
+func (c *Coordinator) jobLog(j *cjob) *slog.Logger {
+	return c.log.With("job_id", j.ID, "trace_id", j.traceID)
+}
+
+// Job returns the coordinator's record for an ID.
+func (c *Coordinator) Job(id string) (*cjob, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	return j, ok
+}
+
+func (c *Coordinator) shardFor(addr string) *shard {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shards[addr]
+}
+
+// Draining reports whether the coordinator has begun its graceful drain.
+func (c *Coordinator) Draining() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.draining
+}
+
+// Status assembles the cluster status wire form.
+func (c *Coordinator) Status() ClusterStatus {
+	c.mu.Lock()
+	shards := make([]*shard, 0, len(c.shards))
+	for _, sh := range c.shards {
+		shards = append(shards, sh)
+	}
+	st := ClusterStatus{
+		Draining: c.draining,
+		Jobs:     len(c.jobs),
+	}
+	c.mu.Unlock()
+	st.Pending = c.fq.depth()
+	st.Tenants = c.fq.tenantSnapshot()
+	st.CacheResident, st.CacheHits = c.cache.stats()
+	for _, sh := range shards {
+		sh.mu.Lock()
+		row := ShardStatus{
+			Addr:       sh.addr,
+			Alive:      sh.alive,
+			Ready:      sh.ready,
+			QueueDepth: sh.stats.QueueDepth,
+			Running:    sh.stats.Running,
+			JobWorkers: sh.stats.JobWorkers,
+			Dispatched: sh.dispatched,
+			LastSeen:   rfc(sh.lastSeen),
+		}
+		sh.mu.Unlock()
+		row.Forwards = c.reg.Counter(obs.Labeled("cluster.forwards", "shard", sh.addr)).Value()
+		row.Steals = c.reg.Counter(obs.Labeled("cluster.steals", "shard", sh.addr)).Value()
+		row.RemoteHits = c.reg.Counter(obs.Labeled("cluster.remote_hits", "shard", sh.addr)).Value()
+		row.Retries = c.reg.Counter(obs.Labeled("cluster.retries", "shard", sh.addr)).Value()
+		st.Shards = append(st.Shards, row)
+	}
+	sort.Slice(st.Shards, func(i, j int) bool { return st.Shards[i].Addr < st.Shards[j].Addr })
+	return st
+}
+
+// Drain performs the graceful shutdown: submissions get 503, queued jobs
+// still dispatch, in-flight remote jobs are followed to their terminal
+// state, then Drain returns. If ctx expires first the remaining follows
+// are aborted and Drain returns ctx.Err().
+func (c *Coordinator) Drain(ctx context.Context) error {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+	c.fq.close()
+	c.log.Info("drain started", "pending", c.fq.depth())
+	done := make(chan struct{})
+	go func() {
+		c.dispWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+		c.log.Info("drain complete")
+	case <-ctx.Done():
+		c.stopAll()
+		<-done
+		c.log.Warn("drain deadline hit; in-flight follows aborted")
+		err = ctx.Err()
+	}
+	// The heartbeat keeps running while jobs drain (shard liveness still
+	// matters for reroutes); it stops with everything else once they're done.
+	c.stopAll()
+	c.hbWG.Wait()
+	return err
+}
+
+// Close hard-stops the coordinator (tests): cancel everything and wait.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+	c.fq.close()
+	c.stopAll()
+	c.dispWG.Wait()
+	c.hbWG.Wait()
+}

@@ -1,0 +1,325 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// maxNoShardWait bounds how long a popped job waits for any live shard
+// before failing outright (a fleet-wide outage must surface as an error,
+// not a silent hang).
+const maxNoShardWait = 30 * time.Second
+
+// dispatcher pops jobs off the fair queue and follows each to its remote
+// terminal state. Running follow synchronously bounds the coordinator's
+// fleet-wide in-flight count to Config.Dispatchers, which is what makes
+// the weighted-fair dequeue meaningful: the queue, not the fleet, is where
+// jobs wait.
+func (c *Coordinator) dispatcher() {
+	defer c.dispWG.Done()
+	for {
+		j, ok := c.fq.pop()
+		if !ok {
+			return
+		}
+		if j.isCanceled() {
+			j.finish(serve.StateCanceled, "canceled while queued", false, time.Now())
+			continue
+		}
+		c.follow(j)
+	}
+}
+
+// follow drives one job across the fleet: pick a shard, forward, poll to a
+// terminal state, fetch and replicate the result. A shard failing at any
+// step (connection refused mid-job, 5xx, vanished job) moves the job to the
+// next candidate in its ring sequence; the content-addressed spec makes
+// the retry byte-identical, so a worker kill degrades throughput but never
+// output.
+func (c *Coordinator) follow(j *cjob) {
+	_, span := j.tracer.StartSpanCtx(j.rootCtx, "forward")
+	defer span.End()
+	start := time.Now()
+	defer func() {
+		c.reg.Histogram("cluster.forward_seconds").Observe(time.Since(start).Seconds())
+	}()
+
+	tried := map[string]bool{}
+	waited := time.Duration(0)
+	for {
+		if j.isCanceled() {
+			j.finish(serve.StateCanceled, "canceled", false, time.Now())
+			return
+		}
+		if c.baseCtx.Err() != nil {
+			j.finish(serve.StateFailed, "coordinator shutting down", false, time.Now())
+			return
+		}
+		addr, stolen := c.pickShard(j.ID, tried)
+		if addr == "" {
+			// No untried ready shard right now. That can be transient — a
+			// heartbeat false-negative, a shard mid-drain — so wait it out
+			// up to maxNoShardWait before declaring the fleet unable.
+			if waited >= maxNoShardWait {
+				c.reg.Counter("cluster.jobs_failed").Inc()
+				j.finish(serve.StateFailed, "no live worker could run the job", false, time.Now())
+				return
+			}
+			select {
+			case <-c.baseCtx.Done():
+			case <-time.After(200 * time.Millisecond):
+				waited += 200 * time.Millisecond
+			}
+			continue
+		}
+		tried[addr] = true
+		if ok := c.runOn(j, addr, stolen); ok {
+			return
+		}
+		// runOn already counted the retry and marked the shard; loop on to
+		// the next ring candidate.
+	}
+}
+
+// pickShard chooses the next shard for a key: the first untried ready node
+// in the key's ring sequence, except that an overloaded owner is skipped
+// in favor of the first idle candidate (a steal). Returns "" when no
+// untried ready shard exists.
+func (c *Coordinator) pickShard(key string, tried map[string]bool) (addr string, stolen bool) {
+	seq := c.ring.sequence(key)
+	var candidates []*shard
+	for _, a := range seq {
+		if tried[a] {
+			continue
+		}
+		sh := c.shardFor(a)
+		if sh != nil && sh.isReady() {
+			candidates = append(candidates, sh)
+		}
+	}
+	if len(candidates) == 0 {
+		return "", false
+	}
+	owner := candidates[0]
+	if owner.load() >= c.cfg.StealLoad {
+		for _, cand := range candidates[1:] {
+			if cand.load() == 0 {
+				return cand.addr, true
+			}
+		}
+	}
+	return owner.addr, false
+}
+
+// runOn forwards the job to one shard and follows it to a terminal state.
+// It returns true when the job finished there (any terminal state the
+// shard is authoritative for), false when the shard failed and the job
+// should move on.
+func (c *Coordinator) runOn(j *cjob, addr string, stolen bool) bool {
+	sh := c.shardFor(addr)
+	sh.addDispatched(1)
+	defer sh.addDispatched(-1)
+	_, span := j.tracer.StartSpanCtx(j.rootCtx, "remote")
+	span.Annotate(obs.F("attempt", float64(j.attempts+1)))
+	defer span.End()
+
+	st, err := c.forward(j, addr)
+	if err != nil {
+		c.shardFailed(j, addr, "forward", err)
+		return false
+	}
+	j.setDispatched(addr, time.Now())
+	c.reg.Counter(obs.Labeled("cluster.forwards", "shard", addr)).Inc()
+	if stolen {
+		c.reg.Counter(obs.Labeled("cluster.steals", "shard", addr)).Inc()
+		c.jobLog(j).Info("job stolen onto idle shard", "shard", addr, "owner", c.ring.owner(j.ID))
+	} else {
+		c.jobLog(j).Info("job forwarded", "shard", addr)
+	}
+	if st.State == serve.StateDone {
+		// The shard answered from its store: no poll needed.
+		c.reg.Counter(obs.Labeled("cluster.remote_hits", "shard", addr)).Inc()
+		return c.completeDone(j, addr, true)
+	}
+
+	// Poll the shard until the job is terminal there or the shard dies.
+	consecFails := 0
+	tick := time.NewTicker(c.cfg.PollEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.baseCtx.Done():
+			j.finish(serve.StateFailed, "coordinator shutting down", false, time.Now())
+			return true
+		case <-tick.C:
+		}
+		if j.isCanceled() {
+			// Propagate the cancel to the shard; its answer decides the
+			// final state on the next polls.
+			c.cancelOn(j.ID, addr)
+		}
+		ctx, cancel := context.WithTimeout(c.baseCtx, 5*time.Second)
+		var remote serve.JobStatus
+		err := c.getJSON(ctx, addr+"/v1/jobs/"+j.ID, &remote)
+		cancel()
+		if err != nil {
+			consecFails++
+			if consecFails >= 3 {
+				c.shardFailed(j, addr, "status poll", err)
+				return false
+			}
+			continue
+		}
+		consecFails = 0
+		switch remote.State {
+		case serve.StateDone:
+			return c.completeDone(j, addr, false)
+		case serve.StateFailed:
+			c.reg.Counter("cluster.jobs_failed").Inc()
+			j.finish(serve.StateFailed, remote.Error, false, time.Now())
+			return true
+		case serve.StateCanceled:
+			if j.isCanceled() {
+				c.reg.Counter("cluster.jobs_canceled").Inc()
+				j.finish(serve.StateCanceled, remote.Error, false, time.Now())
+				return true
+			}
+			// Canceled on the worker without our asking (its drain deadline
+			// hit): treat as a shard failure and rerun elsewhere.
+			c.shardFailed(j, addr, "remote cancel", fmt.Errorf("shard canceled the job"))
+			return false
+		}
+	}
+}
+
+// forward POSTs the job spec to a shard, with the coordinator's trace ID
+// pinned via header so the worker's spans and log lines join this trace.
+func (c *Coordinator) forward(j *cjob, addr string) (serve.JobStatus, error) {
+	data, err := json.Marshal(j.Spec)
+	if err != nil {
+		return serve.JobStatus{}, err
+	}
+	ctx, cancel := context.WithTimeout(c.baseCtx, 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/v1/jobs", bytes.NewReader(data))
+	if err != nil {
+		return serve.JobStatus{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-P4wn-Trace-Id", j.traceID)
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return serve.JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return serve.JobStatus{}, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusAccepted:
+		var st serve.JobStatus
+		if err := json.Unmarshal(body, &st); err != nil {
+			return serve.JobStatus{}, err
+		}
+		return st, nil
+	default:
+		// 429 (shard queue full) and 503 (shard draining) are routing
+		// signals, not job failures: surface as an error so follow tries
+		// the next candidate.
+		return serve.JobStatus{}, fmt.Errorf("shard %s: %s: %s", addr, resp.Status, bytes.TrimSpace(body))
+	}
+}
+
+// completeDone fetches the finished result from the shard, replicates it
+// into the coordinator LRU, and finishes the job. remoteHit marks results
+// the shard served from its store with no fresh engine run.
+func (c *Coordinator) completeDone(j *cjob, addr string, remoteHit bool) bool {
+	_, span := j.tracer.StartSpanCtx(j.rootCtx, "fetch")
+	defer span.End()
+	ctx, cancel := context.WithTimeout(c.baseCtx, 30*time.Second)
+	defer cancel()
+	data, err := c.fetchResult(ctx, addr, j.ID)
+	if err != nil {
+		c.shardFailed(j, addr, "result fetch", err)
+		return false
+	}
+	span.Annotate(obs.F("bytes", float64(len(data))))
+	c.cache.put(j.ID, data)
+	c.reg.Counter("cluster.jobs_done").Inc()
+	c.jobLog(j).Info("job done", "shard", addr, "bytes", len(data), "remote_hit", remoteHit)
+	j.finish(serve.StateDone, "", remoteHit, time.Now())
+	return true
+}
+
+// fetchResult downloads a stored result, retrying briefly while the shard
+// finishes persisting (done state can precede store visibility).
+func (c *Coordinator) fetchResult(ctx context.Context, addr, id string) ([]byte, error) {
+	url := addr + "/v1/jobs/" + id + "/result"
+	var lastErr error
+	for attempt := 0; attempt < 20; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			if !json.Valid(body) {
+				return nil, fmt.Errorf("shard %s returned torn result for %s", addr, id)
+			}
+			return body, nil
+		case http.StatusAccepted:
+			lastErr = fmt.Errorf("result for %s not yet persisted on %s", id, addr)
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(100 * time.Millisecond):
+			}
+		default:
+			return nil, fmt.Errorf("shard %s: result %s: %s", addr, id, resp.Status)
+		}
+	}
+	return nil, lastErr
+}
+
+// cancelOn forwards a cancellation to the shard running the job.
+func (c *Coordinator) cancelOn(id, addr string) {
+	ctx, cancel := context.WithTimeout(c.baseCtx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, addr+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return
+	}
+	if resp, err := c.client.Do(req); err == nil {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}
+}
+
+// shardFailed records a shard failure for a job: the shard is marked down
+// until the heartbeat revives it, and the per-shard retry counter ticks.
+func (c *Coordinator) shardFailed(j *cjob, addr, stage string, err error) {
+	if sh := c.shardFor(addr); sh != nil {
+		sh.markDown()
+	}
+	c.reg.Counter(obs.Labeled("cluster.retries", "shard", addr)).Inc()
+	c.jobLog(j).Warn("shard failed; rerouting job",
+		"shard", addr, "stage", stage, "error", err.Error())
+}

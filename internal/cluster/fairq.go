@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"errors"
+	"sort"
+	"sync"
+)
+
+// Dispatch-queue errors; the HTTP layer maps quota and capacity to 429 +
+// Retry-After (backpressure) and draining to 503.
+var (
+	ErrTenantQuota = errors.New("cluster: tenant quota exceeded")
+	ErrQueueFull   = errors.New("cluster: dispatch queue full")
+	ErrDraining    = errors.New("cluster: coordinator draining")
+)
+
+// fairQueue is the coordinator's pending-dispatch queue: one FIFO per
+// tenant, dequeued by weighted fair queueing so a heavy submitter cannot
+// starve the rest. Each tenant carries a virtual finish time advanced by
+// 1/weight per dispatched job; pop always takes the tenant with the
+// smallest virtual time, which converges to bandwidth proportional to the
+// weights under sustained load while staying strictly FIFO within a
+// tenant.
+type fairQueue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	weights  map[string]float64 // default weight 1
+	quota    int                // per-tenant pending bound
+	capTotal int                // global pending bound
+
+	tenants map[string]*tenantQ
+	size    int
+	clock   float64 // virtual time of the last dispatch
+	closed  bool
+}
+
+type tenantQ struct {
+	name  string
+	items []*cjob
+	vtime float64
+	// rejected counts pushes refused by this tenant's quota (status table).
+	rejected int64
+}
+
+func newFairQueue(quota, capTotal int, weights map[string]float64) *fairQueue {
+	if quota <= 0 {
+		quota = 32
+	}
+	if capTotal <= 0 {
+		capTotal = 256
+	}
+	q := &fairQueue{
+		weights:  map[string]float64{},
+		quota:    quota,
+		capTotal: capTotal,
+		tenants:  map[string]*tenantQ{},
+	}
+	for k, w := range weights {
+		if w > 0 {
+			q.weights[k] = w
+		}
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *fairQueue) weight(tenant string) float64 {
+	if w, ok := q.weights[tenant]; ok {
+		return w
+	}
+	return 1
+}
+
+// push enqueues a job under its tenant, enforcing the per-tenant quota and
+// the global bound.
+func (q *fairQueue) push(tenant string, j *cjob) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrDraining
+	}
+	t, ok := q.tenants[tenant]
+	if !ok {
+		t = &tenantQ{name: tenant}
+		q.tenants[tenant] = t
+	}
+	if len(t.items) >= q.quota {
+		t.rejected++
+		return ErrTenantQuota
+	}
+	if q.size >= q.capTotal {
+		return ErrQueueFull
+	}
+	if len(t.items) == 0 && t.vtime < q.clock {
+		// A tenant returning from idle starts at the current virtual time:
+		// it must not burn banked credit and lock everyone else out.
+		t.vtime = q.clock
+	}
+	t.items = append(t.items, j)
+	q.size++
+	q.cond.Signal()
+	return nil
+}
+
+// pop blocks until a job is available or the queue is closed and drained.
+// Among backlogged tenants it picks the smallest virtual finish time
+// (ties broken by name for determinism), then advances that tenant's
+// clock by 1/weight.
+func (q *fairQueue) pop() (*cjob, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		var best *tenantQ
+		for _, t := range q.tenants {
+			if len(t.items) == 0 {
+				continue
+			}
+			if best == nil || t.vtime < best.vtime || (t.vtime == best.vtime && t.name < best.name) {
+				best = t
+			}
+		}
+		if best != nil {
+			j := best.items[0]
+			best.items[0] = nil
+			best.items = best.items[1:]
+			q.size--
+			q.clock = best.vtime
+			best.vtime += 1 / q.weight(best.name)
+			return j, true
+		}
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// close stops intake and wakes every waiting dispatcher; queued jobs still
+// pop (drain semantics match the worker queue's).
+func (q *fairQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+func (q *fairQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}
+
+// tenantSnapshot reports per-tenant backlog for the cluster status table,
+// sorted by name.
+func (q *fairQueue) tenantSnapshot() []TenantStatus {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]TenantStatus, 0, len(q.tenants))
+	for _, t := range q.tenants {
+		out = append(out, TenantStatus{
+			Name:     t.name,
+			Weight:   q.weight(t.name),
+			Pending:  len(t.items),
+			Rejected: t.rejected,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

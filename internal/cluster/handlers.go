@@ -1,0 +1,382 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// Handler returns the coordinator mux: the exact job API a single daemon
+// serves (so clients are shard-oblivious), the cluster status endpoint,
+// liveness/readiness probes, and the observability endpoints.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", c.handleLive)
+	mux.HandleFunc("GET /readyz", c.handleReady)
+	mux.HandleFunc("GET /v1/healthz", c.handleHealth)
+	mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", c.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", c.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", c.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", c.handleEvents)
+	mux.HandleFunc("GET /v1/cluster/status", c.handleClusterStatus)
+	mux.HandleFunc("GET /debug/trace/{id}", c.handleTrace)
+	obs.Mount(mux, c.reg)
+	return mux
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (c *Coordinator) handleLive(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"state": "ok"})
+}
+
+func (c *Coordinator) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if c.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"state": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"state": "serving"})
+}
+
+func (c *Coordinator) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	state := "serving"
+	if c.Draining() {
+		state = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"state": state, "role": "coordinator"})
+}
+
+func (c *Coordinator) handleClusterStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, c.Status())
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec serve.JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{"decode job spec: " + err.Error()})
+		return
+	}
+	st, code, err := c.Submit(spec)
+	if err != nil {
+		if code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeJSON(w, code, errorBody{err.Error()})
+		return
+	}
+	writeJSON(w, code, st)
+}
+
+func (c *Coordinator) handleList(w http.ResponseWriter, _ *http.Request) {
+	c.mu.Lock()
+	statuses := make([]serve.JobStatus, 0, len(c.jobs))
+	for _, j := range c.jobs {
+		statuses = append(statuses, j.Status())
+	}
+	c.mu.Unlock()
+	sort.Slice(statuses, func(i, k int) bool {
+		if statuses[i].SubmittedAt != statuses[k].SubmittedAt {
+			return statuses[i].SubmittedAt < statuses[k].SubmittedAt
+		}
+		return statuses[i].ID < statuses[k].ID
+	})
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": statuses})
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if j, ok := c.Job(id); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+		return
+	}
+	if _, ok := c.cache.get(id); ok {
+		writeJSON(w, http.StatusOK, serve.JobStatus{ID: id, State: serve.StateDone, Cached: true})
+		return
+	}
+	// Not ours: the job may have been submitted straight to a shard. Ask
+	// the ring owner chain.
+	for _, addr := range c.ring.sequence(id) {
+		sh := c.shardFor(addr)
+		if sh == nil || !sh.isReady() {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+		var st serve.JobStatus
+		err := c.getJSON(ctx, addr+"/v1/jobs/"+id, &st)
+		cancel()
+		if err == nil {
+			writeJSON(w, http.StatusOK, st)
+			return
+		}
+	}
+	writeJSON(w, http.StatusNotFound, errorBody{"unknown job " + id})
+}
+
+func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := c.Job(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{"unknown job " + id})
+		return
+	}
+	j.markCanceled()
+	if addr := j.currentWorker(); addr != "" {
+		c.cancelOn(id, addr)
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if data, ok := c.cache.get(id); ok {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+		w.Write(data)
+		return
+	}
+	j, ok := c.Job(id)
+	if !ok {
+		// Unknown here: relay from the ring owner chain (covers results
+		// evicted from the LRU and jobs submitted straight to shards).
+		if data, addr := c.relayResult(r.Context(), id); data != nil {
+			c.cache.put(id, data)
+			c.reg.Counter(obs.Labeled("cluster.remote_hits", "shard", addr)).Inc()
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+			w.Write(data)
+			return
+		}
+		writeJSON(w, http.StatusNotFound, errorBody{"unknown job " + id})
+		return
+	}
+	switch st := j.Status(); st.State {
+	case serve.StateQueued, serve.StateRunning:
+		writeJSON(w, http.StatusAccepted, st)
+	case serve.StateCanceled:
+		writeJSON(w, http.StatusGone, st)
+	case serve.StateFailed:
+		writeJSON(w, http.StatusInternalServerError, st)
+	default:
+		// Done, but evicted from the LRU: refetch from the shard that ran it
+		// (or the ring owner chain after a topology of failures).
+		if addr := j.currentWorker(); addr != "" {
+			ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
+			data, err := c.fetchResult(ctx, addr, id)
+			cancel()
+			if err == nil {
+				c.cache.put(id, data)
+				w.Header().Set("Content-Type", "application/json; charset=utf-8")
+				w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+				w.Write(data)
+				return
+			}
+		}
+		if data, _ := c.relayResult(r.Context(), id); data != nil {
+			c.cache.put(id, data)
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+			w.Write(data)
+			return
+		}
+		writeJSON(w, http.StatusInternalServerError, errorBody{"result missing for job " + id})
+	}
+}
+
+// relayResult walks the key's ring sequence asking each ready shard's
+// store for the result. Returns the bytes and the serving shard, or nil.
+func (c *Coordinator) relayResult(ctx context.Context, id string) ([]byte, string) {
+	for _, addr := range c.ring.sequence(id) {
+		sh := c.shardFor(addr)
+		if sh == nil || !sh.isReady() {
+			continue
+		}
+		reqCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, addr+"/v1/jobs/"+id+"/result", nil)
+		if err != nil {
+			cancel()
+			continue
+		}
+		resp, err := c.client.Do(req)
+		if err != nil {
+			cancel()
+			continue
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		resp.Body.Close()
+		cancel()
+		if err == nil && resp.StatusCode == http.StatusOK && json.Valid(body) {
+			return body, addr
+		}
+	}
+	return nil, ""
+}
+
+// handleTrace exports the coordinator's span tree for a job — the
+// cross-node hop (queued → forward → remote → fetch) — as Chrome
+// trace_event JSON. The worker's own engine spans live on the worker under
+// the same trace_id, so the two exports join on one trace.
+func (c *Coordinator) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := c.Job(id)
+	if !ok {
+		// Relay the worker-side trace when the job is not ours.
+		for _, addr := range c.ring.sequence(id) {
+			sh := c.shardFor(addr)
+			if sh == nil || !sh.isReady() {
+				continue
+			}
+			ctx, cancel := context.WithTimeout(r.Context(), 5*time.Second)
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/debug/trace/"+id, nil)
+			if err != nil {
+				cancel()
+				continue
+			}
+			resp, err := c.client.Do(req)
+			if err != nil {
+				cancel()
+				continue
+			}
+			body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+			resp.Body.Close()
+			cancel()
+			if err == nil && resp.StatusCode == http.StatusOK {
+				w.Header().Set("Content-Type", "application/json; charset=utf-8")
+				w.Write(body)
+				return
+			}
+		}
+		writeJSON(w, http.StatusNotFound, errorBody{"unknown job " + id})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("Content-Disposition", `attachment; filename="trace-`+j.traceID+`.json"`)
+	j.tracer.WriteChromeTrace(w)
+}
+
+// handleEvents streams a job's progress as Server-Sent Events by relaying
+// the assigned shard's stream, reconnecting across re-dispatches, and
+// finishing with the coordinator's own terminal "done" event.
+func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := c.Job(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{"unknown job " + id})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorBody{"streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	lastWorker := ""
+	for {
+		select {
+		case <-j.done:
+			fmt.Fprintf(w, "event: done\ndata: %s\n\n", j.State())
+			flusher.Flush()
+			return
+		case <-r.Context().Done():
+			return
+		default:
+		}
+		addr := j.currentWorker()
+		if addr == "" {
+			select {
+			case <-j.done:
+			case <-r.Context().Done():
+				return
+			case <-time.After(100 * time.Millisecond):
+			}
+			continue
+		}
+		if addr != lastWorker && lastWorker != "" {
+			fmt.Fprintf(w, "data: coordinator: shard %s failed; retrying on %s\n\n", lastWorker, addr)
+			flusher.Flush()
+		}
+		lastWorker = addr
+		c.relayEvents(w, flusher, r, j, addr)
+		// Stream ended: either the job is terminal (loop exits on j.done)
+		// or the shard died mid-stream (loop reconnects to the next one).
+		select {
+		case <-j.done:
+		case <-r.Context().Done():
+			return
+		case <-time.After(c.cfg.PollEvery):
+		}
+	}
+}
+
+// relayEvents proxies one shard's SSE stream until it ends, forwarding
+// data events and swallowing the shard's terminal event (the coordinator
+// emits its own once the job is terminal on its side).
+func (c *Coordinator) relayEvents(w io.Writer, flusher http.Flusher, r *http.Request, j *cjob, addr string) {
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	go func() {
+		// Tear the relay down when the coordinator finishes the job (e.g.
+		// re-dispatch after a stall the stream outlived).
+		select {
+		case <-j.done:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/v1/jobs/"+j.ID+"/events", nil)
+	if err != nil {
+		return
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		return
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if event == "done" {
+				return
+			}
+			fmt.Fprintf(w, "%s\n\n", line)
+			flusher.Flush()
+		}
+	}
+}

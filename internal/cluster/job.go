@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+// cjob is the coordinator's record of one routed job: the normalized spec,
+// its current shard assignment, and a span tree covering the cross-node
+// hop (queued → dispatch → remote run → fetch) that /debug/trace/{id}
+// exports. The job and trace identity are the same content address a
+// worker computes, so coordinator spans, worker spans, and worker log
+// lines all join on one trace_id.
+type cjob struct {
+	ID     string
+	Spec   serve.JobSpec // normalized; Spec.TraceID carries the trace hop
+	Tenant string
+
+	mu        sync.Mutex
+	state     serve.JobState
+	worker    string // current shard assignment ("" while queued)
+	attempts  int    // dispatch attempts across shards
+	errMsg    string
+	cached    bool
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	canceled  bool
+
+	done chan struct{}
+
+	tracer  *obs.Tracer
+	traceID string
+	rootCtx context.Context
+	root    obs.Span
+	queued  obs.Span
+}
+
+func newCjob(id string, spec serve.JobSpec, now time.Time) *cjob {
+	j := &cjob{
+		ID:        id,
+		Spec:      spec,
+		Tenant:    spec.Tenant,
+		state:     serve.StateQueued,
+		submitted: now,
+		done:      make(chan struct{}),
+		tracer:    obs.NewTracer(nil),
+	}
+	j.traceID = spec.TraceID
+	j.tracer.SetTraceID(j.traceID)
+	j.rootCtx, j.root = j.tracer.StartSpanCtx(context.Background(), "job")
+	_, j.queued = j.tracer.StartSpanCtx(j.rootCtx, "queued")
+	return j
+}
+
+func (j *cjob) State() serve.JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+func (j *cjob) isCanceled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.canceled
+}
+
+// markCanceled flags a queued job for lazy discard at dispatch time.
+func (j *cjob) markCanceled() {
+	j.mu.Lock()
+	j.canceled = true
+	j.mu.Unlock()
+}
+
+// setDispatched records the shard now running the job. The first dispatch
+// ends the queued span; each dispatch (first or retry) opens nothing here —
+// the follower times the remote hop with its own spans.
+func (j *cjob) setDispatched(addr string, now time.Time) {
+	j.mu.Lock()
+	first := j.attempts == 0
+	j.attempts++
+	j.worker = addr
+	if j.state == serve.StateQueued {
+		j.state = serve.StateRunning
+		j.started = now
+	}
+	j.mu.Unlock()
+	if first {
+		j.queued.End()
+	}
+}
+
+// currentWorker returns the shard currently assigned ("" while queued).
+func (j *cjob) currentWorker() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.worker
+}
+
+// finish moves the job to a terminal state exactly once.
+func (j *cjob) finish(state serve.JobState, errMsg string, cached bool, now time.Time) {
+	j.mu.Lock()
+	if j.state == serve.StateDone || j.state == serve.StateFailed || j.state == serve.StateCanceled {
+		j.mu.Unlock()
+		return
+	}
+	wasQueued := j.state == serve.StateQueued
+	j.state = state
+	j.errMsg = errMsg
+	j.cached = cached
+	j.finished = now
+	j.mu.Unlock()
+	if wasQueued {
+		j.queued.End()
+	}
+	j.root.End()
+	close(j.done)
+}
+
+// Status snapshots the job in the same wire form a single daemon serves,
+// so clients cannot tell a coordinator from a worker.
+func (j *cjob) Status() serve.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := serve.JobStatus{
+		ID:          j.ID,
+		TraceID:     j.traceID,
+		Kind:        j.Spec.Kind,
+		State:       j.state,
+		Cached:      j.cached,
+		Priority:    j.Spec.Priority,
+		Error:       j.errMsg,
+		SubmittedAt: rfc(j.submitted),
+		StartedAt:   rfc(j.started),
+		FinishedAt:  rfc(j.finished),
+	}
+	if !j.started.IsZero() {
+		st.WaitSec = j.started.Sub(j.submitted).Seconds()
+	}
+	return st
+}
+
+func rfc(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}
+
+// resultCache is the coordinator's bounded LRU over hot result bytes:
+// results fetched from shards (or probed off a ring owner's store) are
+// replicated here so repeat submissions are answered without any worker
+// round trip.
+type resultCache struct {
+	mu   sync.Mutex
+	cap  int
+	lru  *list.List // front = most recent; values are *cacheEntry
+	byID map[string]*list.Element
+	hits int64
+}
+
+type cacheEntry struct {
+	id   string
+	data []byte
+}
+
+func newResultCache(capEntries int) *resultCache {
+	if capEntries <= 0 {
+		capEntries = 128
+	}
+	return &resultCache{cap: capEntries, lru: list.New(), byID: map[string]*list.Element{}}
+}
+
+func (c *resultCache) get(id string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byID[id]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.hits++
+	return el.Value.(*cacheEntry).data, true
+}
+
+func (c *resultCache) put(id string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byID[id]; ok {
+		el.Value.(*cacheEntry).data = data
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.byID[id] = c.lru.PushFront(&cacheEntry{id: id, data: data})
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		delete(c.byID, back.Value.(*cacheEntry).id)
+		c.lru.Remove(back)
+	}
+}
+
+func (c *resultCache) stats() (resident int, hits int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len(), c.hits
+}

@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+var ringNodes = []string{"http://w1:8471", "http://w2:8471", "http://w3:8471"}
+
+// Two rings built from the same worker list — in any order, with
+// duplicates — must agree on every key: ownership is a pure function of
+// the fleet membership, never of construction history.
+func TestRingDeterministic(t *testing.T) {
+	a := newRing(ringNodes, 64)
+	b := newRing([]string{ringNodes[2], ringNodes[0], ringNodes[1], ringNodes[0], ""}, 64)
+	if !reflect.DeepEqual(a.nodes, b.nodes) {
+		t.Fatalf("node sets differ: %v vs %v", a.nodes, b.nodes)
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("job-%d", i)
+		if got, want := b.owner(key), a.owner(key); got != want {
+			t.Fatalf("key %q: owner %q on reordered ring, %q on original", key, got, want)
+		}
+		if !reflect.DeepEqual(a.sequence(key), b.sequence(key)) {
+			t.Fatalf("key %q: sequences diverge", key)
+		}
+	}
+}
+
+// sequence must enumerate every node exactly once, owner first.
+func TestRingSequenceCoversAllNodes(t *testing.T) {
+	r := newRing(ringNodes, 64)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("job-%d", i)
+		seq := r.sequence(key)
+		if len(seq) != len(ringNodes) {
+			t.Fatalf("key %q: sequence %v misses nodes", key, seq)
+		}
+		seen := map[string]bool{}
+		for _, n := range seq {
+			if seen[n] {
+				t.Fatalf("key %q: node %q repeats in %v", key, n, seq)
+			}
+			seen[n] = true
+		}
+		if seq[0] != r.owner(key) {
+			t.Fatalf("key %q: sequence head %q is not the owner %q", key, seq[0], r.owner(key))
+		}
+	}
+}
+
+// With 64 virtual nodes the keyspace split should be roughly even: no
+// shard under ~half or over ~double its fair share across many keys.
+func TestRingBalance(t *testing.T) {
+	r := newRing(ringNodes, 64)
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.owner(fmt.Sprintf("job-%d", i))]++
+	}
+	fair := keys / len(ringNodes)
+	for node, n := range counts {
+		if n < fair/2 || n > fair*2 {
+			t.Errorf("node %s owns %d of %d keys (fair share %d): ring too skewed", node, n, keys, fair)
+		}
+	}
+}
+
+// Removing one node must only move the keys it owned: every other key
+// keeps its owner (the property that makes consistent hashing worth the
+// trouble — a worker death invalidates one shard's cache affinity, not
+// the whole fleet's).
+func TestRingStabilityUnderNodeLoss(t *testing.T) {
+	full := newRing(ringNodes, 64)
+	reduced := newRing(ringNodes[:2], 64)
+	moved := 0
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("job-%d", i)
+		was := full.owner(key)
+		now := reduced.owner(key)
+		if was == ringNodes[2] {
+			moved++
+			continue // owned by the removed node: must move somewhere
+		}
+		if was != now {
+			t.Fatalf("key %q moved %s -> %s though its owner survived", key, was, now)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key was owned by the removed node; balance test should have caught this")
+	}
+}

@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Submissions racing the drain barrier must split cleanly: everything
+// accepted before the barrier runs to a persisted terminal state, everything
+// after gets a clean 503/ErrDraining, and nothing lands in the queue once
+// the barrier is down. Run under -race this also checks the Submit/Drain
+// paths share no unsynchronized state.
+func TestDrainBackpressureConcurrentSubmits(t *testing.T) {
+	s := newTestServer(t, Config{JobWorkers: 2, QueueDepth: 64})
+	hold := make(chan struct{})
+	s.testHold = hold
+	src := synGuardSrc(t)
+
+	const submitters = 12
+	type outcome struct {
+		id   string
+		code int
+		err  error
+	}
+	results := make([]outcome, submitters)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			st, code, err := s.Submit(JobSpec{
+				Source:  src,
+				Options: core.WireOptions{Seed: int64(i + 1)},
+			})
+			results[i] = outcome{id: st.ID, code: code, err: err}
+		}(i)
+	}
+
+	drainErr := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	close(start)
+	go func() {
+		// Land the barrier mid-burst: some submitters have won, some lose.
+		time.Sleep(2 * time.Millisecond)
+		drainErr <- s.Drain(ctx)
+	}()
+	wg.Wait()
+
+	// Everything the workers were holding can now run to completion.
+	close(hold)
+	if err := <-drainErr; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	accepted := 0
+	for i, r := range results {
+		switch r.code {
+		case http.StatusAccepted:
+			accepted++
+			j, ok := s.Job(r.id)
+			if !ok {
+				t.Fatalf("accepted job %s vanished", r.id)
+			}
+			waitDone(t, j)
+			if j.State() != StateDone {
+				t.Fatalf("accepted job %s drained to %s (%s)", r.id, j.State(), j.Status().Error)
+			}
+			if _, ok := s.store.Get(r.id); !ok {
+				t.Fatalf("accepted job %s finished without a persisted result", r.id)
+			}
+		case http.StatusServiceUnavailable:
+			if r.err != ErrDraining {
+				t.Fatalf("submitter %d rejected with err=%v, want ErrDraining", i, r.err)
+			}
+		default:
+			t.Fatalf("submitter %d: code=%d err=%v, want 202 or 503", i, r.code, r.err)
+		}
+	}
+
+	// The barrier is permanent: no submission sneaks in after Drain returns,
+	// and the job table holds exactly the accepted set.
+	if _, code, err := s.Submit(JobSpec{Source: src, Options: core.WireOptions{Seed: 9999}}); code != http.StatusServiceUnavailable || err != ErrDraining {
+		t.Fatalf("post-drain submit: code=%d err=%v, want 503/ErrDraining", code, err)
+	}
+	s.mu.Lock()
+	jobs := len(s.jobs)
+	s.mu.Unlock()
+	if jobs != accepted {
+		t.Fatalf("job table holds %d jobs, accepted %d: something enqueued past the barrier", jobs, accepted)
+	}
+	rejected := int64(submitters - accepted + 1) // +1 for the post-drain probe
+	if got := s.reg.Counter("serve.rejected_draining").Value(); got != rejected {
+		t.Fatalf("rejected_draining = %d, want %d", got, rejected)
+	}
+}
+
+// During a drain /readyz must flip to 503 (so the balancer routes around
+// this node) while /healthz stays 200 (so the orchestrator does not kill
+// the node mid-flush) and the in-flight job still finishes.
+func TestReadyzFlipsDuringDrain(t *testing.T) {
+	s := newTestServer(t, Config{JobWorkers: 1})
+	hold := make(chan struct{})
+	s.testHold = hold
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	statusOf := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := statusOf("/readyz"); code != http.StatusOK {
+		t.Fatalf("pre-drain readyz = %d", code)
+	}
+	if code := statusOf("/healthz"); code != http.StatusOK {
+		t.Fatalf("pre-drain healthz = %d", code)
+	}
+
+	st, code, err := s.Submit(JobSpec{Source: synGuardSrc(t), Scale: "quick"})
+	if err != nil || code != http.StatusAccepted {
+		t.Fatalf("submit: code=%d err=%v", code, err)
+	}
+	waitPopped(t, s)
+
+	drainErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		drainErr <- s.Drain(ctx)
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for statusOf("/readyz") != http.StatusServiceUnavailable {
+		if time.Now().After(deadline) {
+			t.Fatal("readyz never flipped to 503 after drain started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if code := statusOf("/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz during drain = %d, want 200", code)
+	}
+
+	close(hold)
+	if err := <-drainErr; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	j, _ := s.Job(st.ID)
+	if j.State() != StateDone {
+		t.Fatalf("held job drained to %s, want done", j.State())
+	}
+	if code := statusOf("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain readyz = %d, want 503 forever", code)
+	}
+}

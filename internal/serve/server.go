@@ -582,7 +582,10 @@ func (s *Server) Close() {
 // endpoints (/metrics, expvar, pprof) on the same listener.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleLive)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
@@ -624,6 +627,55 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"state": state})
 }
 
+// handleLive is the liveness probe: 200 for as long as the process can
+// answer HTTP at all, draining included. Orchestrators restart on failure
+// here, so it must never report drain as death.
+func (s *Server) handleLive(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"state": "ok"})
+}
+
+// handleReady is the readiness probe: 200 while accepting submissions, 503
+// once the drain barrier is down. Load balancers and the cluster
+// coordinator stop routing new work on the first 503 while in-flight jobs
+// finish behind it.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"state": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"state": "serving"})
+}
+
+// Stats snapshots the daemon's load for the coordinator heartbeat.
+func (s *Server) Stats() NodeStats {
+	s.mu.Lock()
+	jobs := len(s.jobs)
+	running := 0
+	for _, j := range s.jobs {
+		if j.State() == StateRunning {
+			running++
+		}
+	}
+	draining := s.draining
+	s.mu.Unlock()
+	st := NodeStats{
+		State:         "serving",
+		QueueDepth:    s.queue.depth(),
+		Running:       running,
+		JobWorkers:    s.cfg.JobWorkers,
+		Jobs:          jobs,
+		StoreResident: s.store.Resident(),
+	}
+	if draining {
+		st.State = "draining"
+	}
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20))
@@ -631,6 +683,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&spec); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{"decode job spec: " + err.Error()})
 		return
+	}
+	// A forwarding coordinator pins the trace identity via header; it wins
+	// over any trace_id in the body (normalize validates either way).
+	if h := r.Header.Get("X-P4wn-Trace-Id"); h != "" {
+		spec.TraceID = h
 	}
 	st, code, err := s.Submit(spec)
 	if err != nil {

@@ -45,6 +45,13 @@ for _ in $(seq 1 100); do
 done
 curl -fs "$BASE/v1/healthz" | grep -q serving || fail "daemon not healthy"
 
+echo "== liveness and readiness probes"
+[ "$(curl -s -o /dev/null -w '%{http_code}' "$BASE/healthz")" = "200" ] \
+  || fail "/healthz is not 200 on a serving daemon"
+[ "$(curl -s -o /dev/null -w '%{http_code}' "$BASE/readyz")" = "200" ] \
+  || fail "/readyz is not 200 on a serving daemon"
+curl -fs "$BASE/readyz" | grep -q serving || fail "/readyz body does not say serving"
+
 PROG=examples/programs/syn_guard.p4w
 
 echo "== offline profile"
@@ -127,10 +134,34 @@ cmp -s "$WORK/served.json" "$WORK/fetched.json" || fail "result fetch is not byt
 "$WORK/p4wn" cancel -addr "$BASE" -id "$JOB_ID" >/dev/null || fail "cancel of a finished job errored"
 
 echo "== SIGTERM drain with a job in flight"
-# A fresh seed forces a real engine run; TERM lands while it executes.
-"$WORK/p4wn" submit -addr "$BASE" -file "$PROG" -seed 424242 > "$WORK/drain.out"
+# Blink is the slowest stateful zoo program (~10s of engine work), which
+# guarantees TERM lands while it executes and leaves a wide window to
+# observe the readiness flip.
+"$WORK/p4wn" submit -addr "$BASE" -prog "Blink (S5)" > "$WORK/drain.out"
 DRAIN_ID=$(awk '{print $1}' "$WORK/drain.out")
+for _ in $(seq 1 100); do
+  "$WORK/p4wn" status -addr "$BASE" -id "$DRAIN_ID" | grep -q running && break
+  sleep 0.05
+done
 kill -TERM "$DAEMON_PID"
+# While the in-flight job flushes, the daemon must advertise not-ready
+# (balancers route away) but stay live (orchestrators don't kill it).
+READY_FLIPPED=0
+for _ in $(seq 1 100); do
+  code=$(curl -s -o /dev/null -w '%{http_code}' --max-time 1 "$BASE/readyz" || true)
+  if [ "$code" = "503" ]; then READY_FLIPPED=1; break; fi
+  kill -0 "$DAEMON_PID" 2>/dev/null || break
+  sleep 0.02
+done
+[ "$READY_FLIPPED" = "1" ] || fail "/readyz never went 503 while draining"
+if kill -0 "$DAEMON_PID" 2>/dev/null; then
+  code=$(curl -s -o /dev/null -w '%{http_code}' --max-time 1 "$BASE/healthz" || true)
+  # The daemon may finish its flush between the liveness check and the
+  # curl; only a live daemon answering non-200 is a failure.
+  if kill -0 "$DAEMON_PID" 2>/dev/null && [ "$code" != "200" ]; then
+    fail "/healthz dropped during drain (got $code)"
+  fi
+fi
 if ! wait "$DAEMON_PID"; then fail "daemon exited nonzero on drain"; fi
 DAEMON_PID=""
 [ -s "$WORK/store/$DRAIN_ID.json" ] || fail "in-flight job's result not persisted through drain"
